@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *  (a) the through-ququart routing penalty (paper's second routing
+ *      constraint),
+ *  (b) charging an initial ENC per compressed pair,
+ *  (c) the Ring-Based scoring terms (merged-degree penalty and
+ *      simultaneity penalty).
+ * Each table shows total/gate EPS across a few benchmarks as one knob
+ * varies with everything else fixed.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/ring_based.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+namespace {
+
+void
+ablatePenalty(const BenchArgs &args)
+{
+    std::printf("--- (a) through-ququart routing penalty ---\n");
+    const GateLibrary lib;
+    TablePrinter t({"benchmark", "penalty", "swaps", "gate_eps",
+                    "total_eps"});
+    for (const char *fam : {"cuccaro", "qaoa_torus"}) {
+        const Circuit c = benchmarkFamily(fam).make(20);
+        const Topology topo = Topology::grid(c.numQubits());
+        for (double p : {1.0, 1.25, 2.0, 4.0}) {
+            CompilerConfig cfg;
+            cfg.throughQuquartPenalty = p;
+            const auto res =
+                makeStrategy("eqm")->compile(c, topo, lib, cfg);
+            t.addRow({fam, format("%.2f", p),
+                      format("%d", res.metrics.numRoutingGates),
+                      format("%.4f", res.metrics.gateEps),
+                      format("%.3g", res.metrics.totalEps)});
+        }
+    }
+    emit(t, args);
+}
+
+void
+ablateInitialEnc(const BenchArgs &args)
+{
+    std::printf("--- (b) initial ENC charging ---\n");
+    const GateLibrary lib;
+    TablePrinter t({"benchmark", "charge_enc", "pairs", "gate_eps",
+                    "total_eps"});
+    for (const char *fam : {"cuccaro", "cnu"}) {
+        const Circuit c = benchmarkFamily(fam).make(20);
+        const Topology topo = Topology::grid(c.numQubits());
+        for (bool charge : {true, false}) {
+            CompilerConfig cfg;
+            cfg.chargeInitialEnc = charge;
+            const auto res =
+                makeStrategy("eqm")->compile(c, topo, lib, cfg);
+            t.addRow({fam, charge ? "yes" : "no",
+                      format("%zu", res.compressions.size()),
+                      format("%.4f", res.metrics.gateEps),
+                      format("%.3g", res.metrics.totalEps)});
+        }
+    }
+    emit(t, args);
+}
+
+void
+ablateRingBased(const BenchArgs &args)
+{
+    std::printf("--- (c) Ring-Based scoring terms ---\n");
+    const GateLibrary lib;
+    const CompilerConfig cfg;
+    TablePrinter t({"benchmark", "merged_deg_pen", "simul_pen", "pairs",
+                    "swaps", "gate_eps/qo"});
+    for (const char *fam : {"cnu", "cuccaro", "qaoa_cylinder"}) {
+        const Circuit c = benchmarkFamily(fam).make(24);
+        const Topology topo = Topology::grid(c.numQubits());
+        const double qo = makeStrategy("qubit_only")
+                              ->compile(c, topo, lib)
+                              .metrics.gateEps;
+        for (double deg_pen : {0.0, 2.0}) {
+            for (double sim_pen : {0.0, 0.5}) {
+                RingBasedOptions opts;
+                opts.mergedDegreePenalty = deg_pen;
+                opts.simultaneityPenalty = sim_pen;
+                const RingBasedStrategy rb(opts);
+                const auto res = rb.compile(c, topo, lib, cfg);
+                t.addRow({fam, format("%.1f", deg_pen),
+                          format("%.1f", sim_pen),
+                          format("%zu", res.compressions.size()),
+                          format("%d", res.metrics.numRoutingGates),
+                          ratio(res.metrics.gateEps, qo)});
+            }
+        }
+    }
+    emit(t, args);
+}
+
+void
+ablateLookahead(const BenchArgs &args)
+{
+    std::printf("--- (d) router lookahead weight ---\n");
+    const GateLibrary lib;
+    TablePrinter t({"benchmark", "lookahead", "swaps", "gate_eps",
+                    "total_eps"});
+    for (const char *fam : {"cuccaro", "qaoa_random"}) {
+        const Circuit c = benchmarkFamily(fam).make(20);
+        const Topology topo = Topology::ring(c.numQubits());
+        for (double w : {0.0, 0.25, 0.5, 1.0}) {
+            CompilerConfig cfg;
+            cfg.lookaheadWeight = w;
+            const auto res =
+                makeStrategy("qubit_only")->compile(c, topo, lib, cfg);
+            t.addRow({fam, format("%.2f", w),
+                      format("%d", res.metrics.numRoutingGates),
+                      format("%.4f", res.metrics.gateEps),
+                      format("%.3g", res.metrics.totalEps)});
+        }
+    }
+    emit(t, args);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Ablations: router penalty, ENC charging, RB scoring, "
+           "lookahead",
+           "Design-choice sensitivity (not a paper figure).");
+    ablatePenalty(args);
+    ablateInitialEnc(args);
+    ablateRingBased(args);
+    ablateLookahead(args);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: coherence Expected Probability of
+ * Success (the exp(-t_qb/T1qb - t_qd/T1qd) product) for every
+ * benchmark family, size, and strategy. The paper's observation: all
+ * partial-gate strategies beat FQ on duration, EQM usually leads, and
+ * the best gate EPS does not always give the best coherence EPS.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 10: coherence EPS vs circuit size",
+           "Worst-case coherence model, T1 = 163.5 us (qubit) / "
+           "54.5 us (ququart).");
+
+    const GateLibrary lib;
+    const std::vector<std::string> strategies =
+        {"qubit_only", "fq", "eqm", "rb", "awe", "pp"};
+
+    for (const auto &family : benchmarkFamilies()) {
+        std::vector<std::string> headers = {"size", "qubits",
+                                            "duration_qo_us"};
+        for (const auto &s : strategies)
+            headers.push_back(s);
+        for (const auto &s : strategies) {
+            if (s != "qubit_only")
+                headers.push_back(s + "/qo");
+        }
+        TablePrinter t(headers);
+
+        for (int size : defaultSizes(args)) {
+            if (size < family.minQubits)
+                continue;
+            const Circuit c = family.make(size);
+            const Topology topo = Topology::grid(c.numQubits());
+            std::map<std::string, double> eps;
+            double qo_duration = 0.0;
+            for (const auto &s : strategies) {
+                const auto res = makeStrategy(s)->compile(c, topo, lib);
+                eps[s] = res.metrics.coherenceEps;
+                if (s == "qubit_only")
+                    qo_duration = res.metrics.durationNs / 1000.0;
+            }
+            std::vector<std::string> row = {
+                format("%d", size), format("%d", c.numQubits()),
+                format("%.1f", qo_duration)};
+            for (const auto &s : strategies)
+                row.push_back(format("%.4f", eps[s]));
+            for (const auto &s : strategies) {
+                if (s != "qubit_only")
+                    row.push_back(ratio(eps[s], eps["qubit_only"]));
+            }
+            t.addRow(std::move(row));
+        }
+        std::printf("--- %s ---\n", family.name.c_str());
+        emit(t, args);
+    }
+    return 0;
+}

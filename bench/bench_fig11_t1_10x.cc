@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: coherence EPS for Cuccaro and torus
+ * QAOA with 10x better T1 times for both qubits and ququarts. The
+ * margin between qubit-only and ququart strategies narrows, but at
+ * the worst-case 1:3 T1 ratio coherence still favours qubit-only.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 11: coherence EPS with 10x better T1",
+           "T1 = 1.635 ms (qubit) / 0.545 ms (ququart).");
+
+    GateLibrary lib;
+    lib.setT1(10.0 * GateLibrary::kT1QubitNs,
+              10.0 * GateLibrary::kT1QuquartNs);
+    const std::vector<std::string> strategies =
+        {"qubit_only", "fq", "eqm", "rb", "awe", "pp"};
+
+    for (const char *fam : {"cuccaro", "qaoa_torus"}) {
+        const auto &family = benchmarkFamily(fam);
+        std::vector<std::string> headers = {"size", "qubits"};
+        for (const auto &s : strategies)
+            headers.push_back(s);
+        for (const auto &s : strategies) {
+            if (s != "qubit_only")
+                headers.push_back(s + "/qo");
+        }
+        TablePrinter t(headers);
+        for (int size : defaultSizes(args)) {
+            if (size < family.minQubits)
+                continue;
+            const Circuit c = family.make(size);
+            const Topology topo = Topology::grid(c.numQubits());
+            std::map<std::string, double> eps;
+            for (const auto &s : strategies) {
+                eps[s] = makeStrategy(s)
+                             ->compile(c, topo, lib)
+                             .metrics.coherenceEps;
+            }
+            std::vector<std::string> row = {
+                format("%d", size), format("%d", c.numQubits())};
+            for (const auto &s : strategies)
+                row.push_back(format("%.5f", eps[s]));
+            for (const auto &s : strategies) {
+                if (s != "qubit_only")
+                    row.push_back(ratio(eps[s], eps["qubit_only"]));
+            }
+            t.addRow(std::move(row));
+        }
+        std::printf("--- %s ---\n", fam);
+        emit(t, args);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: total EPS of ~25-qubit benchmarks (with
+ * 10x better base T1) as the ququart-to-qubit T1 ratio sweeps from
+ * the worst case 1/3 up to 1. For each benchmark the crossover ratio
+ * -- where compression starts winning on *total* EPS -- is reported
+ * (the dashed lines of the figure); the paper finds it lands before
+ * the ratio reaches 1.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 12: total EPS vs ququart T1 ratio (25-qubit "
+           "benchmarks, 10x T1)",
+           "As T1_ququart/T1_qubit grows from 1/3 to 1, ququart "
+           "compilation should overtake qubit-only before the ratio "
+           "reaches 1.");
+
+    const double t1_qubit = 10.0 * GateLibrary::kT1QubitNs;
+    const std::vector<double> ratios =
+        args.quick ? std::vector<double>{1.0 / 3.0, 0.6, 1.0}
+                   : std::vector<double>{1.0 / 3.0, 0.4, 0.5, 0.6, 0.7,
+                                         0.8, 0.9, 1.0};
+    const int target_size = 25;
+
+    for (const char *fam : {"cuccaro", "cnu", "qram", "qaoa_cylinder",
+                            "qaoa_torus"}) {
+        const Circuit c = benchmarkFamily(fam).make(target_size);
+        const Topology topo = Topology::grid(c.numQubits());
+        TablePrinter t({"t1_ratio", "qubit_only", "eqm", "eqm/qo"});
+        std::string crossover = "none in range";
+        for (double r : ratios) {
+            GateLibrary lib;
+            lib.setT1(t1_qubit, r * t1_qubit);
+            const double qo = makeStrategy("qubit_only")
+                                  ->compile(c, topo, lib)
+                                  .metrics.totalEps;
+            const double eqm = makeStrategy("eqm")
+                                   ->compile(c, topo, lib)
+                                   .metrics.totalEps;
+            t.addRow({format("%.3f", r), format("%.4f", qo),
+                      format("%.4f", eqm), ratio(eqm, qo)});
+            if (eqm >= qo && crossover == "none in range")
+                crossover = format("%.3f", r);
+        }
+        std::printf("--- %s (%d qubits) ---\n", fam, c.numQubits());
+        emit(t, args);
+        std::printf("crossover ratio (EQM total EPS >= qubit-only): "
+                    "%s\n\n",
+                    crossover.c_str());
+    }
+    return 0;
+}

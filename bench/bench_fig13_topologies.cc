@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: ranges (min / median / max across
+ * circuit sizes 5-40) of the gate-EPS improvement over qubit-only
+ * for CNU and cylinder QAOA on three topologies: per-circuit grids,
+ * the 65-unit heavy-hex lattice, and a 65-unit ring. The paper finds
+ * no significant topology dependence.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+namespace {
+
+struct Range
+{
+    double min, median, max;
+};
+
+Range
+rangeOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return {v.front(), v[v.size() / 2], v.back()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 13: gate-EPS improvement ranges across topologies",
+           "Expected: similar improvement ranges on grid, heavy-hex, "
+           "and ring (the router adapts to connectivity).");
+
+    const GateLibrary lib;
+    const std::vector<std::string> strategies = {"eqm", "rb"};
+
+    for (const char *fam : {"cnu", "qaoa_cylinder"}) {
+        const auto &family = benchmarkFamily(fam);
+        TablePrinter t({"topology", "strategy", "min", "median", "max",
+                        "sizes"});
+        for (const char *topo_name : {"grid", "heavyhex", "ring"}) {
+            for (const auto &strat : strategies) {
+                std::vector<double> improvements;
+                int used = 0;
+                for (int size : defaultSizes(args)) {
+                    if (size < family.minQubits)
+                        continue;
+                    const Circuit c = family.make(size);
+                    Topology topo = Topology::grid(c.numQubits());
+                    if (std::string(topo_name) == "heavyhex")
+                        topo = Topology::heavyHex65();
+                    else if (std::string(topo_name) == "ring")
+                        topo = Topology::ring(65);
+                    if (c.numQubits() > topo.numUnits())
+                        continue; // qubit-only baseline must fit
+                    const double qo =
+                        makeStrategy("qubit_only")
+                            ->compile(c, topo, lib)
+                            .metrics.gateEps;
+                    const double eps = makeStrategy(strat)
+                                           ->compile(c, topo, lib)
+                                           .metrics.gateEps;
+                    improvements.push_back(eps / qo);
+                    ++used;
+                }
+                if (improvements.empty())
+                    continue;
+                const Range r = rangeOf(improvements);
+                t.addRow({topo_name, strat, format("%.3fx", r.min),
+                          format("%.3fx", r.median),
+                          format("%.3fx", r.max), format("%d", used)});
+            }
+        }
+        std::printf("--- %s ---\n", fam);
+        emit(t, args);
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: gate Expected Probability of Success for
+ * every benchmark family, circuit sizes 5-40, every compression
+ * strategy, on per-circuit-sized grid architectures. Values are also
+ * reported relative to the qubit-only baseline (the paper's y-axis).
+ *
+ * Pass --ec to include the exhaustive strategy on sizes <= 14.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hh"
+#include "circuits/registry.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 7: gate EPS vs circuit size",
+           "Expected: FQ below qubit-only everywhere; EQM/RB >= 1.5x "
+           "on CNU and Cuccaro; modest (<~1.2x) and noisy gains on "
+           "graph QAOA; EQM the most consistent.");
+
+    const GateLibrary lib;
+    const std::vector<std::string> strategies =
+        {"qubit_only", "fq", "eqm", "rb", "awe", "pp"};
+    const bool with_ec = args.has("--ec");
+
+    for (const auto &family : benchmarkFamilies()) {
+        std::vector<std::string> headers = {"size", "qubits"};
+        for (const auto &s : strategies)
+            headers.push_back(s);
+        for (const auto &s : strategies) {
+            if (s != "qubit_only")
+                headers.push_back(s + "/qo");
+        }
+        if (with_ec)
+            headers.push_back("ec");
+        TablePrinter t(headers);
+
+        for (int size : defaultSizes(args)) {
+            if (size < family.minQubits)
+                continue;
+            const Circuit c = family.make(size);
+            const Topology topo = Topology::grid(c.numQubits());
+            std::map<std::string, double> eps;
+            for (const auto &s : strategies) {
+                eps[s] = makeStrategy(s)
+                             ->compile(c, topo, lib)
+                             .metrics.gateEps;
+            }
+            std::vector<std::string> row = {
+                format("%d", size), format("%d", c.numQubits())};
+            for (const auto &s : strategies)
+                row.push_back(format("%.4f", eps[s]));
+            for (const auto &s : strategies) {
+                if (s != "qubit_only")
+                    row.push_back(ratio(eps[s], eps["qubit_only"]));
+            }
+            if (with_ec) {
+                row.push_back(
+                    c.numQubits() <= 14
+                        ? format("%.4f", makeStrategy("ec")
+                                             ->compile(c, topo, lib)
+                                             .metrics.gateEps)
+                        : std::string("(skipped)"));
+            }
+            t.addRow(std::move(row));
+        }
+        std::printf("--- %s ---\n", family.name.c_str());
+        emit(t, args);
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the distribution of physical gate types
+ * for a 30-qubit torus QAOA circuit under each pairing strategy. The
+ * paper's observation: EQM uses many more internal CX gates, while
+ * AWE/PP lean on partial CX and SWAP operations.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+using namespace qompress::bench;
+
+namespace {
+
+int
+sumClasses(const std::vector<int> &hist,
+           std::initializer_list<PhysGateClass> classes)
+{
+    int total = 0;
+    for (PhysGateClass c : classes)
+        total += hist[static_cast<std::size_t>(c)];
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = parseArgs(argc, argv);
+    banner("Figure 8: gate-type distribution, 30-qubit torus QAOA",
+           "EQM should favour internal CX gates; AWE/PP should show "
+           "more partial CX and SWAP traffic.");
+
+    const Graph g = torusGraph(5, 6); // exactly 30 qubits
+    const Circuit circuit = qaoaFromGraph(g, {}, "qaoa_torus_30");
+    const Topology topo = Topology::grid(circuit.numQubits());
+    const GateLibrary lib;
+
+    TablePrinter t({"strategy", "total", "1q", "CX_internal", "CX2",
+                    "CX_qb-qq", "CX_qq-qq", "SWAP2", "SWAP_qb-qq",
+                    "SWAP_qq-qq", "SWAPin", "SWAP4", "ENC/DEC"});
+    for (const char *name :
+         {"qubit_only", "fq", "eqm", "rb", "awe", "pp"}) {
+        const auto res = makeStrategy(name)->compile(circuit, topo, lib);
+        const auto &h = res.metrics.classHistogram;
+        t.addRow({
+            name,
+            format("%d", res.metrics.numGates),
+            format("%d", sumClasses(h, {PhysGateClass::SqBare,
+                                        PhysGateClass::SqEnc0,
+                                        PhysGateClass::SqEnc1,
+                                        PhysGateClass::SqEncBoth})),
+            format("%d", sumClasses(h, {PhysGateClass::CxInternal0,
+                                        PhysGateClass::CxInternal1})),
+            format("%d", sumClasses(h, {PhysGateClass::CxBareBare})),
+            format("%d", sumClasses(h, {PhysGateClass::CxEnc0Bare,
+                                        PhysGateClass::CxEnc1Bare,
+                                        PhysGateClass::CxBareEnc0,
+                                        PhysGateClass::CxBareEnc1})),
+            format("%d", sumClasses(h, {PhysGateClass::CxEnc00,
+                                        PhysGateClass::CxEnc01,
+                                        PhysGateClass::CxEnc10,
+                                        PhysGateClass::CxEnc11})),
+            format("%d", sumClasses(h, {PhysGateClass::SwapBareBare})),
+            format("%d", sumClasses(h, {PhysGateClass::SwapBareEnc0,
+                                        PhysGateClass::SwapBareEnc1})),
+            format("%d", sumClasses(h, {PhysGateClass::SwapEnc00,
+                                        PhysGateClass::SwapEnc01,
+                                        PhysGateClass::SwapEnc11})),
+            format("%d", sumClasses(h, {PhysGateClass::SwapInternal})),
+            format("%d", sumClasses(h, {PhysGateClass::SwapFull})),
+            format("%d", sumClasses(h, {PhysGateClass::Encode,
+                                        PhysGateClass::Decode})),
+        });
+    }
+    emit(t, args);
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: argument
+ * parsing, size sweeps, and ratio formatting.
+ *
+ * Every bench prints the rows/series of one paper table or figure.
+ * Common flags: --quick (smaller sweeps), --csv (machine-readable),
+ * --sizes=a,b,c (override the size sweep).
+ */
+
+#ifndef QOMPRESS_BENCH_BENCH_UTIL_HH
+#define QOMPRESS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+
+namespace qompress::bench {
+
+/** Parsed command-line options shared by all benches. */
+struct BenchArgs
+{
+    bool quick = false;
+    bool csv = false;
+    std::vector<int> sizes;
+    std::vector<std::string> extra;
+
+    bool
+    has(const std::string &flag) const
+    {
+        for (const auto &e : extra) {
+            if (e == flag)
+                return true;
+        }
+        return false;
+    }
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quick") {
+            args.quick = true;
+        } else if (a == "--csv") {
+            args.csv = true;
+        } else if (a.rfind("--sizes=", 0) == 0) {
+            for (const auto &tok : split(a.substr(8), ','))
+                args.sizes.push_back(std::stoi(tok));
+        } else {
+            args.extra.push_back(a);
+        }
+    }
+    return args;
+}
+
+/** The paper's size sweep (5 to 40); --quick halves it. */
+inline std::vector<int>
+defaultSizes(const BenchArgs &args)
+{
+    if (!args.sizes.empty())
+        return args.sizes;
+    if (args.quick)
+        return {10, 20, 30};
+    return {5, 10, 15, 20, 25, 30, 35, 40};
+}
+
+/** Render a value/baseline ratio like "1.43x". */
+inline std::string
+ratio(double value, double baseline)
+{
+    if (baseline <= 0.0)
+        return "n/a";
+    return format("%.3fx", value / baseline);
+}
+
+inline void
+emit(const TablePrinter &table, const BenchArgs &args)
+{
+    if (args.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << '\n';
+}
+
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "=== " << title << " ===\n"
+              << paper_ref << "\n\n";
+}
+
+} // namespace qompress::bench
+
+#endif // QOMPRESS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Domain example: QAOA over an interaction graph -- the paper's
+ * graph-structured workload. Builds the four graph families from the
+ * evaluation (random 30%, cylinder, torus, binary welded tree),
+ * compiles each under qubit-only and EQM on grid / heavy-hex / ring
+ * devices, and reports where compression pays off.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "strategies/strategy.hh"
+
+using namespace qompress;
+
+int
+main()
+{
+    const GateLibrary calibration;
+    struct Workload
+    {
+        const char *name;
+        Graph graph;
+    };
+    const std::vector<Workload> workloads = {
+        {"random_30pct", randomGraph(16, 0.3, 11)},
+        {"cylinder", cylinderGraph(4, 4)},
+        {"torus", torusGraph(4, 4)},
+        {"welded_tree", binaryWeldedTree(2, 13)},
+    };
+
+    TablePrinter t({"graph", "qubits", "device", "qo_eps", "eqm_eps",
+                    "gain", "internal_cx", "pairs"});
+    for (const auto &w : workloads) {
+        const Circuit circuit = qaoaFromGraph(w.graph, {}, w.name);
+        const std::vector<Topology> devices = {
+            Topology::grid(circuit.numQubits()),
+            Topology::heavyHex65(),
+            Topology::ring(65),
+        };
+        for (const auto &device : devices) {
+            const auto qo = makeStrategy("qubit_only")
+                                ->compile(circuit, device, calibration);
+            const auto eqm = makeStrategy("eqm")->compile(
+                circuit, device, calibration);
+            const auto &hist = eqm.metrics.classHistogram;
+            const int internal =
+                hist[static_cast<int>(PhysGateClass::CxInternal0)] +
+                hist[static_cast<int>(PhysGateClass::CxInternal1)];
+            t.addRow({w.name, format("%d", circuit.numQubits()),
+                      device.name(),
+                      format("%.4f", qo.metrics.gateEps),
+                      format("%.4f", eqm.metrics.gateEps),
+                      format("%+.1f%%",
+                             100.0 * (eqm.metrics.gateEps /
+                                          qo.metrics.gateEps -
+                                      1.0)),
+                      format("%d", internal),
+                      format("%zu", eqm.compressions.size())});
+        }
+    }
+    t.print(std::cout);
+    std::printf("\nGraph QAOA gains are modest and structure-dependent "
+                "(paper section 7): uniform edge weights leave less "
+                "locality for compression to exploit.\n");
+    return 0;
+}

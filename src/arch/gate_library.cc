@@ -1,0 +1,189 @@
+#include "arch/gate_library.hh"
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+constexpr std::size_t kNum =
+    static_cast<std::size_t>(PhysGateClass::NumClasses);
+
+constexpr std::size_t
+idx(PhysGateClass c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+struct ClassMeta
+{
+    const char *name;
+    double duration_ns;  // Table 1
+    bool single_unit;
+};
+
+constexpr std::array<ClassMeta, kNum> kMeta = {{
+    {"X", 35.0, true},
+    {"X0", 87.0, true},
+    {"X1", 66.0, true},
+    {"X0,1", 86.0, true},
+    {"CX0", 83.0, true},
+    {"CX1", 84.0, true},
+    {"SWAPin", 78.0, true},
+    {"CX2", 251.0, false},
+    {"SWAP2", 504.0, false},
+    {"CX0q", 560.0, false},
+    {"CX1q", 632.0, false},
+    {"CXq0", 880.0, false},
+    {"CXq1", 812.0, false},
+    {"SWAPq0", 680.0, false},
+    {"SWAPq1", 792.0, false},
+    {"CX00", 544.0, false},
+    {"CX01", 544.0, false},
+    {"CX10", 700.0, false},
+    {"CX11", 700.0, false},
+    {"SWAP00", 916.0, false},
+    {"SWAP01", 892.0, false},
+    {"SWAP11", 964.0, false},
+    {"SWAP4", 1184.0, false},
+    {"ENC", 608.0, false},
+    {"DEC", 608.0, false},
+}};
+
+} // namespace
+
+const std::string &
+physGateClassName(PhysGateClass c)
+{
+    static const std::array<std::string, kNum> names = [] {
+        std::array<std::string, kNum> out;
+        for (std::size_t i = 0; i < kNum; ++i)
+            out[i] = kMeta[i].name;
+        return out;
+    }();
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    return names[idx(c)];
+}
+
+bool
+isSingleUnitClass(PhysGateClass c)
+{
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    return kMeta[idx(c)].single_unit;
+}
+
+PhysGateClass
+classifyCx(int ctl_pos, bool ctl_enc, int tgt_pos, bool tgt_enc,
+           bool same_unit)
+{
+    if (same_unit) {
+        QPANIC_IF(ctl_pos == tgt_pos, "internal CX with equal positions");
+        return ctl_pos == 0 ? PhysGateClass::CxInternal0
+                            : PhysGateClass::CxInternal1;
+    }
+    if (ctl_enc && tgt_enc) {
+        if (ctl_pos == 0)
+            return tgt_pos == 0 ? PhysGateClass::CxEnc00
+                                : PhysGateClass::CxEnc01;
+        return tgt_pos == 0 ? PhysGateClass::CxEnc10
+                            : PhysGateClass::CxEnc11;
+    }
+    if (ctl_enc && !tgt_enc) {
+        return ctl_pos == 0 ? PhysGateClass::CxEnc0Bare
+                            : PhysGateClass::CxEnc1Bare;
+    }
+    if (!ctl_enc && tgt_enc) {
+        return tgt_pos == 0 ? PhysGateClass::CxBareEnc0
+                            : PhysGateClass::CxBareEnc1;
+    }
+    return PhysGateClass::CxBareBare;
+}
+
+PhysGateClass
+classifySwap(int a_pos, bool a_enc, int b_pos, bool b_enc, bool same_unit)
+{
+    if (same_unit) {
+        QPANIC_IF(a_pos == b_pos, "internal SWAP with equal positions");
+        return PhysGateClass::SwapInternal;
+    }
+    if (a_enc && b_enc) {
+        if (a_pos == b_pos) {
+            return a_pos == 0 ? PhysGateClass::SwapEnc00
+                              : PhysGateClass::SwapEnc11;
+        }
+        return PhysGateClass::SwapEnc01;
+    }
+    if (a_enc != b_enc) {
+        const int enc_pos = a_enc ? a_pos : b_pos;
+        return enc_pos == 0 ? PhysGateClass::SwapBareEnc0
+                            : PhysGateClass::SwapBareEnc1;
+    }
+    return PhysGateClass::SwapBareBare;
+}
+
+PhysGateClass
+classifySq(int pos, bool enc)
+{
+    if (!enc)
+        return PhysGateClass::SqBare;
+    return pos == 0 ? PhysGateClass::SqEnc0 : PhysGateClass::SqEnc1;
+}
+
+GateLibrary::GateLibrary()
+    : t1Qubit_(kT1QubitNs), t1Ququart_(kT1QuquartNs)
+{
+    for (std::size_t i = 0; i < kNum; ++i) {
+        duration_[i] = kMeta[i].duration_ns;
+        fidelity_[i] = kMeta[i].single_unit ? kSingleQuditFidelity
+                                            : kTwoQuditFidelity;
+    }
+}
+
+double
+GateLibrary::duration(PhysGateClass c) const
+{
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    return duration_[idx(c)];
+}
+
+void
+GateLibrary::setDuration(PhysGateClass c, double ns)
+{
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    QFATAL_IF(ns <= 0.0, "duration must be positive");
+    duration_[idx(c)] = ns;
+}
+
+double
+GateLibrary::fidelity(PhysGateClass c) const
+{
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    return fidelity_[idx(c)];
+}
+
+void
+GateLibrary::setFidelity(PhysGateClass c, double f)
+{
+    QPANIC_IF(idx(c) >= kNum, "bad gate class ", idx(c));
+    QFATAL_IF(f <= 0.0 || f > 1.0, "fidelity must be in (0, 1], got ", f);
+    fidelity_[idx(c)] = f;
+}
+
+void
+GateLibrary::setT1(double qubit_ns, double ququart_ns)
+{
+    QFATAL_IF(qubit_ns <= 0.0 || ququart_ns <= 0.0,
+              "T1 times must be positive");
+    t1Qubit_ = qubit_ns;
+    t1Ququart_ = ququart_ns;
+}
+
+void
+GateLibrary::setQubitGateError(double sq_error, double twoq_error)
+{
+    setFidelity(PhysGateClass::SqBare, 1.0 - sq_error);
+    setFidelity(PhysGateClass::CxBareBare, 1.0 - twoq_error);
+    setFidelity(PhysGateClass::SwapBareBare, 1.0 - twoq_error);
+}
+
+} // namespace qompress

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The mixed-radix physical gate set: classification, durations
+ * (paper Table 1), fidelities, and the coherence (T1) model
+ * (paper sections 3.4 and 6.1.1).
+ */
+
+#ifndef QOMPRESS_ARCH_GATE_LIBRARY_HH
+#define QOMPRESS_ARCH_GATE_LIBRARY_HH
+
+#include <array>
+#include <string>
+
+namespace qompress {
+
+/**
+ * Every physically distinct gate class in the Qompress gate set.
+ *
+ * "Enc0"/"Enc1" refer to encode positions inside a ququart; "Bare" is a
+ * unit holding a single qubit. Internal gates act within one ququart and
+ * count as single-qudit operations.
+ */
+enum class PhysGateClass
+{
+    // --- single-unit (single-qudit fidelity tier) ---
+    SqBare,        ///< 1q gate on a bare unit (X: 35 ns)
+    SqEnc0,        ///< 1q gate on encode position 0 (X0: 87 ns)
+    SqEnc1,        ///< 1q gate on encode position 1 (X1: 66 ns)
+    SqEncBoth,     ///< fused pair of 1q gates (X0,1: 86 ns)
+    CxInternal0,   ///< CX control pos0 -> target pos1 (83 ns)
+    CxInternal1,   ///< CX control pos1 -> target pos0 (84 ns)
+    SwapInternal,  ///< SWAP of the two encoded qubits (78 ns)
+
+    // --- two-unit, qubit-qubit ---
+    CxBareBare,    ///< CX2 (251 ns)
+    SwapBareBare,  ///< SWAP2 (504 ns)
+
+    // --- two-unit, qubit-ququart partials ---
+    CxEnc0Bare,    ///< CX0q: encoded pos0 controls bare target (560 ns)
+    CxEnc1Bare,    ///< CX1q (632 ns)
+    CxBareEnc0,    ///< CXq0: bare controls encoded pos0 target (880 ns)
+    CxBareEnc1,    ///< CXq1 (812 ns)
+    SwapBareEnc0,  ///< SWAPq0 (680 ns)
+    SwapBareEnc1,  ///< SWAPq1 (792 ns)
+
+    // --- two-unit, ququart-ququart partials ---
+    CxEnc00,       ///< CX00 (544 ns)
+    CxEnc01,       ///< CX01 (544 ns)
+    CxEnc10,       ///< CX10 (700 ns; via SWAPin + CX00 + SWAPin)
+    CxEnc11,       ///< CX11 (700 ns)
+    SwapEnc00,     ///< SWAP00 (916 ns)
+    SwapEnc01,     ///< SWAP01 == SWAP10 (892 ns)
+    SwapEnc11,     ///< SWAP11 (964 ns)
+    SwapFull,      ///< SWAP4, exchanges whole ququarts (1184 ns)
+
+    // --- encode/decode ---
+    Encode,        ///< ENC (608 ns)
+    Decode,        ///< ENC^-1 (608 ns)
+
+    NumClasses,
+};
+
+/** Human-readable name matching the paper's notation (CX0q, SWAP00...). */
+const std::string &physGateClassName(PhysGateClass c);
+
+/** True for classes acting on a single physical unit. */
+bool isSingleUnitClass(PhysGateClass c);
+
+/** Classify a CX between slot positions with given encoded states.
+ *  @param ctl_pos / tgt_pos encode position (0/1) of control/target;
+ *  @param ctl_enc / tgt_enc whether that unit currently holds 2 qubits;
+ *  @param same_unit both operands inside one ququart. */
+PhysGateClass classifyCx(int ctl_pos, bool ctl_enc, int tgt_pos,
+                         bool tgt_enc, bool same_unit);
+
+/** Classify a SWAP (symmetric; see classifyCx for parameters). */
+PhysGateClass classifySwap(int a_pos, bool a_enc, int b_pos, bool b_enc,
+                           bool same_unit);
+
+/** Classify a 1-qubit gate on a slot. */
+PhysGateClass classifySq(int pos, bool enc);
+
+/**
+ * Durations, fidelities and T1 times for every gate class.
+ *
+ * Defaults reproduce Table 1 and section 6.1.1: single-qudit success
+ * 99.9%, two-qudit 99%, T1 = 163.5 us (qubit) / 54.5 us (ququart).
+ * Everything is mutable so the sensitivity studies (Figures 9, 11, 12)
+ * can sweep error rates and coherence ratios.
+ */
+class GateLibrary
+{
+  public:
+    /** Paper-calibrated defaults. */
+    GateLibrary();
+
+    /** Duration in nanoseconds. */
+    double duration(PhysGateClass c) const;
+    void setDuration(PhysGateClass c, double ns);
+
+    /** Success probability of one application. */
+    double fidelity(PhysGateClass c) const;
+    void setFidelity(PhysGateClass c, double f);
+
+    /** T1 of a unit in the qubit (bare) state, ns. */
+    double t1Qubit() const { return t1Qubit_; }
+    /** T1 of a unit in the ququart (encoded) state, ns. */
+    double t1Ququart() const { return t1Ququart_; }
+    void setT1(double qubit_ns, double ququart_ns);
+
+    /**
+     * Set the error rate (1 - fidelity) of every *qubit-only* gate
+     * class (SqBare, CxBareBare, SwapBareBare), leaving ququart gates
+     * untouched -- the Figure 9 sweep.
+     */
+    void setQubitGateError(double sq_error, double twoq_error);
+
+    /** Default single-qudit / two-qudit fidelity constants. */
+    static constexpr double kSingleQuditFidelity = 0.999;
+    static constexpr double kTwoQuditFidelity = 0.99;
+    /** Default T1 values (ns): 163.5 us and 163.5/3 us. */
+    static constexpr double kT1QubitNs = 163'500.0;
+    static constexpr double kT1QuquartNs = 54'500.0;
+
+  private:
+    std::array<double, static_cast<std::size_t>(PhysGateClass::NumClasses)>
+        duration_;
+    std::array<double, static_cast<std::size_t>(PhysGateClass::NumClasses)>
+        fidelity_;
+    double t1Qubit_;
+    double t1Ququart_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_ARCH_GATE_LIBRARY_HH

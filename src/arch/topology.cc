@@ -1,0 +1,177 @@
+#include "arch/topology.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+#include "graph/algorithms.hh"
+
+namespace qompress {
+
+Topology::Topology(Graph coupling, std::string name)
+    : coupling_(std::move(coupling)), name_(std::move(name))
+{
+    QFATAL_IF(coupling_.numVertices() < 1, "topology needs >= 1 unit");
+}
+
+UnitId
+Topology::centerUnit() const
+{
+    const int n = numUnits();
+    UnitId best = 0;
+    double best_ecc = ShortestPaths::kInf;
+    for (UnitId u = 0; u < n; ++u) {
+        const auto sp = bfs(coupling_, u);
+        double ecc = 0.0;
+        for (double d : sp.dist) {
+            if (d != ShortestPaths::kInf)
+                ecc = std::max(ecc, d);
+        }
+        if (ecc < best_ecc) {
+            best_ecc = ecc;
+            best = u;
+        }
+    }
+    return best;
+}
+
+Topology
+Topology::grid(int min_units)
+{
+    QFATAL_IF(min_units < 1, "grid needs >= 1 unit");
+    const int cols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(min_units))));
+    const int rows = (min_units + cols - 1) / cols;
+    Topology t = gridExplicit(std::max(rows, 1), cols);
+    return t;
+}
+
+Topology
+Topology::gridExplicit(int rows, int cols)
+{
+    QFATAL_IF(rows < 1 || cols < 1, "grid dims must be positive, got ",
+              rows, "x", cols);
+    Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    return Topology(std::move(g), format("grid_%dx%d", rows, cols));
+}
+
+Topology
+Topology::heavyHex65()
+{
+    Graph g(65);
+    // Qubit rows (inclusive ranges) as on the IBM 65-qubit devices.
+    const std::vector<std::pair<int, int>> rows = {
+        {0, 9}, {13, 23}, {27, 37}, {41, 51}, {55, 64},
+    };
+    for (const auto &[lo, hi] : rows) {
+        for (int q = lo; q < hi; ++q)
+            g.addEdge(q, q + 1);
+    }
+    // Bridge qubits: {bridge, upper-row qubit, lower-row qubit}.
+    const std::vector<std::array<int, 3>> bridges = {
+        {10, 0, 13},  {11, 4, 17},  {12, 8, 21},
+        {24, 15, 29}, {25, 19, 33}, {26, 23, 37},
+        {38, 27, 41}, {39, 31, 45}, {40, 35, 49},
+        {52, 43, 56}, {53, 47, 60}, {54, 51, 64},
+    };
+    for (const auto &[b, up, down] : bridges) {
+        g.addEdge(b, up);
+        g.addEdge(b, down);
+    }
+    return Topology(std::move(g), "heavyhex_65");
+}
+
+Topology
+Topology::ring(int n)
+{
+    QFATAL_IF(n < 3, "ring needs >= 3 units, got ", n);
+    Graph g(n);
+    for (int i = 0; i < n; ++i)
+        g.addEdge(i, (i + 1) % n);
+    return Topology(std::move(g), format("ring_%d", n));
+}
+
+Topology
+Topology::line(int n)
+{
+    QFATAL_IF(n < 1, "line needs >= 1 unit, got ", n);
+    Graph g(n);
+    for (int i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1);
+    return Topology(std::move(g), format("line_%d", n));
+}
+
+Topology
+Topology::complete(int n)
+{
+    QFATAL_IF(n < 1, "complete needs >= 1 unit, got ", n);
+    Graph g(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            g.addEdge(i, j);
+    return Topology(std::move(g), format("complete_%d", n));
+}
+
+Topology
+Topology::fromEdgeList(
+    const std::vector<std::pair<UnitId, UnitId>> &edges,
+    std::string name, int min_units)
+{
+    int n = min_units;
+    for (const auto &[u, v] : edges) {
+        QFATAL_IF(u < 0 || v < 0, "negative unit index in edge list");
+        n = std::max({n, u + 1, v + 1});
+    }
+    QFATAL_IF(n < 1, "custom topology needs at least one unit");
+    Graph g(n);
+    for (const auto &[u, v] : edges) {
+        QFATAL_IF(u == v, "self-coupling on unit ", u);
+        g.addEdge(u, v); // duplicates are tolerated
+    }
+    return Topology(std::move(g), std::move(name));
+}
+
+Topology
+Topology::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    QFATAL_IF(!in, "cannot open topology file '", path, "'");
+    std::vector<std::pair<UnitId, UnitId>> edges;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ss(line);
+        UnitId u, v;
+        if (!(ss >> u))
+            continue; // blank or comment-only line
+        QFATAL_IF(!(ss >> v), "topology file ", path, " line ", lineno,
+                  ": expected 'u v'");
+        edges.push_back({u, v});
+    }
+    QFATAL_IF(edges.empty(), "topology file ", path, " has no edges");
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string::npos) {
+        name = name.substr(slash + 1);
+    }
+    return fromEdgeList(edges, name);
+}
+
+} // namespace qompress

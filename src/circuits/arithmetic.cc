@@ -1,0 +1,58 @@
+#include "circuits/arithmetic.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+namespace {
+
+void
+maj(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.cx(a, b);
+    c.cx(a, carry);
+    c.ccx(carry, b, a);
+}
+
+void
+uma(Circuit &c, QubitId carry, QubitId b, QubitId a)
+{
+    c.ccx(carry, b, a);
+    c.cx(a, carry);
+    c.cx(carry, b);
+}
+
+} // namespace
+
+Circuit
+cuccaroAdder(int bits)
+{
+    QFATAL_IF(bits < 1, "cuccaro adder needs at least 1 bit, got ", bits);
+    const int n = 2 * bits + 2;
+    Circuit c(n, format("cuccaro_%d", bits));
+
+    auto b_q = [](int i) { return 1 + 2 * i; };
+    auto a_q = [](int i) { return 2 + 2 * i; };
+    const QubitId c0 = 0;
+    const QubitId z = n - 1;
+
+    maj(c, c0, b_q(0), a_q(0));
+    for (int i = 1; i < bits; ++i)
+        maj(c, a_q(i - 1), b_q(i), a_q(i));
+    c.cx(a_q(bits - 1), z);
+    for (int i = bits - 1; i >= 1; --i)
+        uma(c, a_q(i - 1), b_q(i), a_q(i));
+    uma(c, c0, b_q(0), a_q(0));
+    return c;
+}
+
+Circuit
+cuccaroAdderForSize(int max_qubits)
+{
+    QFATAL_IF(max_qubits < 4,
+              "cuccaro needs >= 4 qubits, got ", max_qubits);
+    return cuccaroAdder((max_qubits - 2) / 2);
+}
+
+} // namespace qompress

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Cuccaro ripple-carry adder benchmark (paper ref. [15]).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_ARITHMETIC_HH
+#define QOMPRESS_CIRCUITS_ARITHMETIC_HH
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * The CDKM/Cuccaro ripple-carry adder on two @p bits -bit registers.
+ *
+ * Layout: qubit 0 is the incoming-carry ancilla, then interleaved
+ * b0 a0 b1 a1 ..., and the final qubit is the carry-out z. Total
+ * qubit count is 2*bits + 2. The MAJ/UMA ladder produces the chained
+ * triangle interaction structure shown in the paper's Figure 5(d).
+ */
+Circuit cuccaroAdder(int bits);
+
+/** Largest Cuccaro adder fitting in @p max_qubits (>= 4). */
+Circuit cuccaroAdderForSize(int max_qubits);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_ARITHMETIC_HH

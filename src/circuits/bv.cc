@@ -1,0 +1,39 @@
+#include "circuits/bv.hh"
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+Circuit
+bernsteinVazirani(int num_qubits, std::uint64_t secret_seed)
+{
+    QFATAL_IF(num_qubits < 2, "BV needs >= 2 qubits, got ", num_qubits);
+    const int data = num_qubits - 1;
+    const QubitId target = num_qubits - 1;
+    Circuit c(num_qubits, format("bv_%d", num_qubits));
+
+    Rng rng(secret_seed);
+    // |-> on the target, |+> on the data register.
+    c.x(target);
+    for (int q = 0; q < num_qubits; ++q)
+        c.h(q);
+    // Oracle: CX from every secret bit into the target. Guarantee at
+    // least one bit so the circuit is never empty.
+    bool any = false;
+    for (int q = 0; q < data; ++q) {
+        if (rng.nextBool(0.5)) {
+            c.cx(q, target);
+            any = true;
+        }
+    }
+    if (!any)
+        c.cx(0, target);
+    // Final Hadamards reveal the secret on the data register.
+    for (int q = 0; q < data; ++q)
+        c.h(q);
+    return c;
+}
+
+} // namespace qompress

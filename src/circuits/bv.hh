@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Bernstein-Vazirani benchmark (paper ref. [7]).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_BV_HH
+#define QOMPRESS_CIRCUITS_BV_HH
+
+#include <cstdint>
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Bernstein-Vazirani over @p num_qubits total qubits (the last is the
+ * phase-kickback target).
+ *
+ * @param secret_seed seeds the hidden bitstring; every data qubit has
+ *        probability 1/2 of appearing in the oracle. The interaction
+ *        graph is a star around the target (no cycles, as the paper
+ *        notes when explaining why Ring-Based finds nothing for BV).
+ */
+Circuit bernsteinVazirani(int num_qubits, std::uint64_t secret_seed = 7);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_BV_HH

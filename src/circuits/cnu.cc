@@ -1,0 +1,45 @@
+#include "circuits/cnu.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+Circuit
+generalizedToffoli(int controls)
+{
+    QFATAL_IF(controls < 2, "CNU needs >= 2 controls, got ", controls);
+    const int k = controls;
+    const int ancillas = k - 2;
+    const int n = k + ancillas + 1;
+    Circuit c(n, format("cnu_%d", k));
+
+    auto ctl = [](int i) { return i; };
+    auto anc = [k](int i) { return k + i; };
+    const QubitId target = n - 1;
+
+    if (k == 2) {
+        c.ccx(ctl(0), ctl(1), target);
+        return c;
+    }
+
+    // Compute the AND cascade into the ancilla chain.
+    c.ccx(ctl(0), ctl(1), anc(0));
+    for (int i = 1; i < ancillas; ++i)
+        c.ccx(ctl(i + 1), anc(i - 1), anc(i));
+    // Apply to target, then uncompute to restore ancillas.
+    c.ccx(ctl(k - 1), anc(ancillas - 1), target);
+    for (int i = ancillas - 1; i >= 1; --i)
+        c.ccx(ctl(i + 1), anc(i - 1), anc(i));
+    c.ccx(ctl(0), ctl(1), anc(0));
+    return c;
+}
+
+Circuit
+generalizedToffoliForSize(int max_qubits)
+{
+    QFATAL_IF(max_qubits < 3, "CNU needs >= 3 qubits, got ", max_qubits);
+    return generalizedToffoli((max_qubits + 1) / 2);
+}
+
+} // namespace qompress

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Generalized Toffoli (n-controlled NOT, "CNU") benchmark
+ * (paper ref. [6], Barenco et al.).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_CNU_HH
+#define QOMPRESS_CIRCUITS_CNU_HH
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * V-chain generalized Toffoli with @p controls controls.
+ *
+ * Uses controls-2 clean ancillas and one target: 2*controls - 1 qubits
+ * total (controls >= 2). Consecutive Toffolis share an ancilla, giving
+ * the chained-triangle interaction graph of the paper's Figure 5(b).
+ */
+Circuit generalizedToffoli(int controls);
+
+/** Largest CNU fitting in @p max_qubits (>= 3). */
+Circuit generalizedToffoliForSize(int max_qubits);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_CNU_HH

@@ -1,0 +1,136 @@
+#include "circuits/graphs.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "graph/algorithms.hh"
+
+namespace qompress {
+
+Graph
+randomGraph(int n, double density, std::uint64_t seed)
+{
+    QFATAL_IF(n < 2, "random graph needs >= 2 vertices, got ", n);
+    Rng rng(seed);
+    Graph g(n);
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            if (rng.nextBool(density))
+                g.addEdge(u, v);
+        }
+    }
+    // Stitch components together so the QAOA circuit is one program.
+    auto comp = connectedComponents(g);
+    const int num_comp = *std::max_element(comp.begin(), comp.end()) + 1;
+    if (num_comp > 1) {
+        std::vector<int> rep(num_comp, -1);
+        for (int v = 0; v < n; ++v) {
+            if (rep[comp[v]] == -1)
+                rep[comp[v]] = v;
+        }
+        for (int ci = 1; ci < num_comp; ++ci)
+            g.addEdge(rep[ci - 1], rep[ci]);
+    }
+    return g;
+}
+
+Graph
+cylinderGraph(int rings, int ring_size)
+{
+    QFATAL_IF(rings < 2 || ring_size < 3,
+              "cylinder needs rings >= 2 and ring_size >= 3, got ",
+              rings, "x", ring_size);
+    Graph g(rings * ring_size);
+    auto id = [ring_size](int r, int k) { return r * ring_size + k; };
+    for (int r = 0; r < rings; ++r) {
+        for (int k = 0; k < ring_size; ++k) {
+            g.addEdge(id(r, k), id(r, (k + 1) % ring_size));
+            if (r + 1 < rings)
+                g.addEdge(id(r, k), id(r + 1, k));
+        }
+    }
+    return g;
+}
+
+Graph
+cylinderGraphForSize(int n)
+{
+    QFATAL_IF(n < 8, "cylinder needs >= 8 vertices, got ", n);
+    const int ring_size = 4;
+    return cylinderGraph(std::max(2, n / ring_size), ring_size);
+}
+
+Graph
+torusGraph(int rows, int cols)
+{
+    QFATAL_IF(rows < 3 || cols < 3,
+              "torus needs rows, cols >= 3, got ", rows, "x", cols);
+    Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            g.addEdge(id(r, c), id(r, (c + 1) % cols));
+            g.addEdge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    return g;
+}
+
+Graph
+torusGraphForSize(int n)
+{
+    QFATAL_IF(n < 12, "torus needs >= 12 vertices, got ", n);
+    const int cols = 4;
+    return torusGraph(std::max(3, n / cols), cols);
+}
+
+Graph
+binaryWeldedTree(int depth, std::uint64_t seed)
+{
+    QFATAL_IF(depth < 1, "BWT needs depth >= 1, got ", depth);
+    const int per_tree = (1 << (depth + 1)) - 1;
+    const int leaves = 1 << depth;
+    Graph g(2 * per_tree);
+    // Heap-ordered trees: tree A at [0, per_tree), tree B offset.
+    for (int t = 0; t < 2; ++t) {
+        const int base = t * per_tree;
+        for (int v = 0; v < per_tree; ++v) {
+            const int left = 2 * v + 1;
+            const int right = 2 * v + 2;
+            if (left < per_tree)
+                g.addEdge(base + v, base + left);
+            if (right < per_tree)
+                g.addEdge(base + v, base + right);
+        }
+    }
+    // Weld: a random alternating cycle through all 2*leaves leaf nodes,
+    // giving every leaf degree 2 across the weld (the classic welded
+    // tree construction).
+    const int first_leaf = leaves - 1;
+    std::vector<int> la(leaves), lb(leaves);
+    for (int i = 0; i < leaves; ++i) {
+        la[i] = first_leaf + i;
+        lb[i] = per_tree + first_leaf + i;
+    }
+    Rng rng(seed);
+    rng.shuffle(la);
+    rng.shuffle(lb);
+    for (int i = 0; i < leaves; ++i) {
+        g.addEdge(la[i], lb[i]);
+        g.addEdge(lb[i], la[(i + 1) % leaves]);
+    }
+    return g;
+}
+
+Graph
+binaryWeldedTreeForSize(int n, std::uint64_t seed)
+{
+    QFATAL_IF(n < 6, "BWT needs >= 6 vertices, got ", n);
+    int depth = 1;
+    while (2 * ((1 << (depth + 2)) - 1) <= n)
+        ++depth;
+    return binaryWeldedTree(depth, seed);
+}
+
+} // namespace qompress

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Interaction-graph generators for the QAOA benchmarks (paper
+ * section 6.3, Figure 6): random 30%-density, cylinder, torus, and
+ * binary welded tree.
+ */
+
+#ifndef QOMPRESS_CIRCUITS_GRAPHS_HH
+#define QOMPRESS_CIRCUITS_GRAPHS_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+
+namespace qompress {
+
+/** Erdos-Renyi graph on @p n vertices with edge probability @p density
+ *  (paper uses 0.3). Guaranteed connected by chaining components. */
+Graph randomGraph(int n, double density = 0.3, std::uint64_t seed = 11);
+
+/**
+ * Cylinder: @p rings rings of @p ring_size vertices; edges around each
+ * ring and between adjacent rings (Figure 6a).
+ */
+Graph cylinderGraph(int rings, int ring_size);
+
+/** Cylinder with ~n vertices (ring size 4, n rounded down, min 8). */
+Graph cylinderGraphForSize(int n);
+
+/** Torus: @p rows x @p cols grid with both dimensions cyclic (Fig. 6b). */
+Graph torusGraph(int rows, int cols);
+
+/** Torus with ~n vertices (4 columns, n rounded down, min 12). */
+Graph torusGraphForSize(int n);
+
+/**
+ * Binary welded tree (Figure 6c): two complete binary trees of depth
+ * @p depth whose leaves are welded by a seeded random cycle (each leaf
+ * gets degree 2 across the weld). 2*(2^(depth+1) - 1) vertices.
+ */
+Graph binaryWeldedTree(int depth, std::uint64_t seed = 13);
+
+/** BWT with at most @p n vertices (depth rounded down, min depth 1). */
+Graph binaryWeldedTreeForSize(int n, std::uint64_t seed = 13);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_GRAPHS_HH

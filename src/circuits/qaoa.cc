@@ -1,0 +1,32 @@
+#include "circuits/qaoa.hh"
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace qompress {
+
+Circuit
+qaoaFromGraph(const Graph &g, const QaoaOptions &opts,
+              const std::string &name)
+{
+    QFATAL_IF(g.numVertices() < 2, "QAOA graph needs >= 2 vertices");
+    QFATAL_IF(opts.layers < 1, "QAOA needs >= 1 layer");
+    Circuit c(g.numVertices(), name);
+    if (opts.initial_h_layer) {
+        for (int q = 0; q < g.numVertices(); ++q)
+            c.h(q);
+    }
+    Rng rng(opts.order_seed);
+    auto edges = g.edges();
+    for (int layer = 0; layer < opts.layers; ++layer) {
+        rng.shuffle(edges);
+        for (const auto &e : edges) {
+            c.cx(e.u, e.v);
+            c.rz(2.0 * opts.gamma, e.v);
+            c.cx(e.u, e.v);
+        }
+    }
+    return c;
+}
+
+} // namespace qompress

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * QAOA circuit construction from an interaction graph (paper
+ * section 6.3, ref. [16]).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_QAOA_HH
+#define QOMPRESS_CIRCUITS_QAOA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hh"
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/** Options for qaoaFromGraph(). */
+struct QaoaOptions
+{
+    /** ZZ phase angle per edge. */
+    double gamma = 0.4;
+    /** Randomize edge application order (the paper does). */
+    std::uint64_t order_seed = 17;
+    /** Prepend a Hadamard layer (|+>^n initial state). */
+    bool initial_h_layer = true;
+    /** Number of cost layers. */
+    int layers = 1;
+};
+
+/**
+ * Build the paper's QAOA-style circuit: for each graph edge, in a
+ * seeded random order, emit CX - RZ - CX realizing exp(-i gamma ZZ).
+ */
+Circuit qaoaFromGraph(const Graph &g, const QaoaOptions &opts = {},
+                      const std::string &name = "qaoa");
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_QAOA_HH

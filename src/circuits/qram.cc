@@ -1,0 +1,90 @@
+#include "circuits/qram.hh"
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+namespace {
+
+/** CSWAP(c; a, b) decomposed as CX(b,a) CCX(c,a,b) CX(b,a). */
+void
+cswap(Circuit &c, QubitId ctl, QubitId a, QubitId b)
+{
+    c.cx(b, a);
+    c.ccx(ctl, a, b);
+    c.cx(b, a);
+}
+
+} // namespace
+
+Circuit
+qram(int depth)
+{
+    QFATAL_IF(depth < 2, "qram needs depth >= 2, got ", depth);
+    const int routers = (1 << depth) - 1;
+    const int n = depth + routers + 1;
+    Circuit c(n, format("qram_%d", depth));
+
+    auto addr = [](int i) { return i; };
+    // Routers in heap order: router(0) is the root.
+    auto router = [depth](int i) { return depth + i; };
+    const QubitId bus = n - 1;
+
+    // Route each address bit down to its tree level: the address bit is
+    // deposited at the root, then conditionally swapped down through the
+    // already-programmed router levels.
+    for (int level = 0; level < depth; ++level) {
+        c.cx(addr(level), router(0));
+        int node = 0;
+        for (int hop = 0; hop < level; ++hop) {
+            const int left = 2 * node + 1;
+            const int right = 2 * node + 2;
+            // Route the in-flight bit left or right depending on the
+            // router state at this node.
+            cswap(c, router(node), router(left), router(right));
+            c.cx(router(node), router(left));
+            node = left;
+        }
+    }
+
+    // Bus interaction: the addressed leaf toggles the bus. Each leaf
+    // router controls a CX onto the bus gated by its parent chain.
+    const int first_leaf = (1 << (depth - 1)) - 1;
+    for (int leaf = first_leaf; leaf < routers; ++leaf) {
+        const int parent = (leaf - 1) / 2;
+        c.ccx(router(parent), router(leaf), bus);
+    }
+
+    // Unroute (reverse of routing) to restore the routers.
+    for (int level = depth - 1; level >= 0; --level) {
+        int node = 0;
+        std::vector<std::pair<int, int>> hops;
+        for (int hop = 0; hop < level; ++hop) {
+            const int left = 2 * node + 1;
+            hops.push_back({node, left});
+            node = left;
+        }
+        for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+            const int nd = it->first;
+            const int left = it->second;
+            const int right = 2 * nd + 2;
+            c.cx(router(nd), router(left));
+            cswap(c, router(nd), router(left), router(right));
+        }
+        c.cx(addr(level), router(0));
+    }
+    return c;
+}
+
+Circuit
+qramForSize(int max_qubits)
+{
+    QFATAL_IF(max_qubits < 6, "qram needs >= 6 qubits, got ", max_qubits);
+    int depth = 2;
+    while (depth + (1 << (depth + 1)) <= max_qubits)
+        ++depth;
+    return qram(depth);
+}
+
+} // namespace qompress

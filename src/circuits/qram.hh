@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Bucket-brigade-style QRAM benchmark (paper ref. [21]).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_QRAM_HH
+#define QOMPRESS_CIRCUITS_QRAM_HH
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Bucket-brigade QRAM of address depth @p depth.
+ *
+ * Qubits: depth address bits, 2^depth - 1 router qubits arranged as a
+ * binary tree, and one bus qubit; total depth + 2^depth. Address bits
+ * are fanned out level by level with controlled routing (CSWAP
+ * decomposed into CX+CCX), producing the mostly-serial structure with
+ * many edge-sharing interaction cycles the paper describes for QRAM.
+ */
+Circuit qram(int depth);
+
+/** Largest QRAM fitting in @p max_qubits (>= 6). */
+Circuit qramForSize(int max_qubits);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_QRAM_HH

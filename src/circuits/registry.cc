@@ -1,0 +1,69 @@
+#include "circuits/registry.hh"
+
+#include "circuits/arithmetic.hh"
+#include "circuits/bv.hh"
+#include "circuits/cnu.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "circuits/qram.hh"
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+namespace {
+
+Circuit
+makeQaoa(Graph g, const char *base, int size)
+{
+    QaoaOptions opts;
+    opts.order_seed = 17 + static_cast<std::uint64_t>(size);
+    return qaoaFromGraph(g, opts, format("%s_%d", base, g.numVertices()));
+}
+
+} // namespace
+
+const std::vector<BenchmarkFamily> &
+benchmarkFamilies()
+{
+    static const std::vector<BenchmarkFamily> families = {
+        {"cuccaro", 4,
+         [](int n) { return cuccaroAdderForSize(n); }},
+        {"cnu", 3,
+         [](int n) { return generalizedToffoliForSize(n); }},
+        {"qram", 6,
+         [](int n) { return qramForSize(n); }},
+        {"bv", 2,
+         [](int n) { return bernsteinVazirani(n); }},
+        {"qaoa_random", 5,
+         [](int n) {
+             return makeQaoa(randomGraph(n, 0.3, 11 + n), "qaoa_random",
+                             n);
+         }},
+        {"qaoa_cylinder", 8,
+         [](int n) {
+             return makeQaoa(cylinderGraphForSize(n), "qaoa_cylinder", n);
+         }},
+        {"qaoa_torus", 12,
+         [](int n) {
+             return makeQaoa(torusGraphForSize(n), "qaoa_torus", n);
+         }},
+        {"qaoa_bwt", 6,
+         [](int n) {
+             return makeQaoa(binaryWeldedTreeForSize(n), "qaoa_bwt", n);
+         }},
+    };
+    return families;
+}
+
+const BenchmarkFamily &
+benchmarkFamily(const std::string &name)
+{
+    for (const auto &f : benchmarkFamilies()) {
+        if (f.name == name)
+            return f;
+    }
+    QFATAL("unknown benchmark family '", name, "'");
+}
+
+} // namespace qompress

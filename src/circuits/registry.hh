@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Named benchmark registry so benches and tests can sweep the paper's
+ * eight workloads uniformly by (name, approximate size).
+ */
+
+#ifndef QOMPRESS_CIRCUITS_REGISTRY_HH
+#define QOMPRESS_CIRCUITS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/** One benchmark family. */
+struct BenchmarkFamily
+{
+    std::string name;    ///< "cuccaro", "cnu", "qram", "bv",
+                         ///< "qaoa_random", "qaoa_cylinder",
+                         ///< "qaoa_torus", "qaoa_bwt"
+    int minQubits;       ///< smallest sensible instance
+
+    /**
+     * Build an instance with at most @p size qubits (families snap to
+     * their nearest valid size below; the circuit reports its true
+     * qubit count).
+     */
+    Circuit (*make)(int size);
+};
+
+/** All eight families from the paper's evaluation (section 6.3). */
+const std::vector<BenchmarkFamily> &benchmarkFamilies();
+
+/** Look up a family by name; throws FatalError when unknown. */
+const BenchmarkFamily &benchmarkFamily(const std::string &name);
+
+} // namespace qompress
+
+#endif // QOMPRESS_CIRCUITS_REGISTRY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panicIf() flags internal invariant violations (compiler bugs);
+ * fatalIf() flags unusable user input (bad configuration, impossible
+ * requests). Both throw typed exceptions so tests can assert on them.
+ */
+
+#ifndef QOMPRESS_COMMON_ERROR_HH
+#define QOMPRESS_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qompress {
+
+/** Thrown when an internal invariant is violated (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown when the user asked for something impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+template <typename Exc, typename... Args>
+[[noreturn]] inline void
+raise(const char *kind, const char *file, int line, Args &&...args)
+{
+    std::ostringstream os;
+    os << kind << " (" << file << ":" << line << "): ";
+    (os << ... << std::forward<Args>(args));
+    throw Exc(os.str());
+}
+
+} // namespace detail
+
+} // namespace qompress
+
+/** Abort with a PanicError; use for "should never happen" conditions. */
+#define QPANIC(...) \
+    ::qompress::detail::raise<::qompress::PanicError>( \
+        "panic", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Abort with a FatalError; use for invalid user requests. */
+#define QFATAL(...) \
+    ::qompress::detail::raise<::qompress::FatalError>( \
+        "fatal", __FILE__, __LINE__, __VA_ARGS__)
+
+/** Panic when @p cond holds. */
+#define QPANIC_IF(cond, ...) \
+    do { if (cond) { QPANIC(__VA_ARGS__); } } while (0)
+
+/** Fatal error when @p cond holds. */
+#define QFATAL_IF(cond, ...) \
+    do { if (cond) { QFATAL(__VA_ARGS__); } } while (0)
+
+#endif // QOMPRESS_COMMON_ERROR_HH

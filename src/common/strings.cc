@@ -1,0 +1,63 @@
+#include "common/strings.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace qompress {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+formatSig(double v, int digits)
+{
+    std::ostringstream os;
+    os.precision(digits);
+    os << v;
+    return os.str();
+}
+
+} // namespace qompress

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aligned-column text tables and CSV emission for bench harnesses.
+ *
+ * Every bench binary reproduces a paper table or figure by printing rows;
+ * TablePrinter keeps that output readable on a terminal and optionally
+ * mirrors it to CSV for plotting.
+ */
+
+#ifndef QOMPRESS_COMMON_TABLE_HH
+#define QOMPRESS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qompress {
+
+/** Collects rows of strings and renders them with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no padding, comma separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMMON_TABLE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared integral identifier types used across the library.
+ */
+
+#ifndef QOMPRESS_COMMON_TYPES_HH
+#define QOMPRESS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace qompress {
+
+/** Index of a logical (program) qubit in the input circuit. */
+using QubitId = int;
+
+/** Index of a physical computational unit (transmon) on the device. */
+using UnitId = int;
+
+/**
+ * Index of a logical slot in the expanded interaction graph.
+ *
+ * Unit u contributes slots 2u (encode position 0) and 2u+1 (position 1);
+ * see ExpandedGraph.
+ */
+using SlotId = int;
+
+/** Marker for "no qubit / no slot". */
+constexpr int kInvalid = -1;
+
+/** Which encode position inside a unit a slot refers to. */
+inline constexpr int slotPos(SlotId s) { return s & 1; }
+
+/** The physical unit owning a slot. */
+inline constexpr UnitId slotUnit(SlotId s) { return s >> 1; }
+
+/** The slot id for @p unit at encode position @p pos (0 or 1). */
+inline constexpr SlotId makeSlot(UnitId unit, int pos)
+{
+    return (unit << 1) | pos;
+}
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMMON_TYPES_HH

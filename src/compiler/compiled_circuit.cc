@@ -1,0 +1,66 @@
+#include "compiler/compiled_circuit.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/strings.hh"
+
+namespace qompress {
+
+std::vector<UnitId>
+PhysGate::units() const
+{
+    std::vector<UnitId> out;
+    for (SlotId s : slots) {
+        const UnitId u = slotUnit(s);
+        if (std::find(out.begin(), out.end(), u) == out.end())
+            out.push_back(u);
+    }
+    return out;
+}
+
+std::string
+PhysGate::str() const
+{
+    std::string out = physGateClassName(cls);
+    for (SlotId s : slots)
+        out += format(" u%d:%d", slotUnit(s), slotPos(s));
+    if (isRouting)
+        out += " [routing]";
+    return out;
+}
+
+CompiledCircuit::CompiledCircuit(Layout initial, std::string name)
+    : initial_(initial), final_(std::move(initial)),
+      name_(std::move(name))
+{
+}
+
+double
+CompiledCircuit::totalDuration() const
+{
+    double t = 0.0;
+    for (const auto &g : gates_)
+        t = std::max(t, g.end());
+    return t;
+}
+
+int
+CompiledCircuit::numRoutingGates() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const PhysGate &g) { return g.isRouting; }));
+}
+
+std::vector<int>
+CompiledCircuit::classHistogram() const
+{
+    std::vector<int> hist(
+        static_cast<std::size_t>(PhysGateClass::NumClasses), 0);
+    for (const auto &g : gates_)
+        ++hist[static_cast<std::size_t>(g.cls)];
+    return hist;
+}
+
+} // namespace qompress

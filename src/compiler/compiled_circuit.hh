@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The physical-gate program produced by the Qompress pipeline.
+ */
+
+#ifndef QOMPRESS_COMPILER_COMPILED_CIRCUIT_HH
+#define QOMPRESS_COMPILER_COMPILED_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/expanded_graph.hh"
+#include "arch/gate_library.hh"
+#include "compiler/layout.hh"
+#include "ir/gate.hh"
+
+namespace qompress {
+
+/**
+ * One scheduled physical gate.
+ *
+ * For two-operand classes, slots[0] / slots[1] are (control, target)
+ * respectively for CX-like gates and unordered for SWAPs. SwapFull
+ * exchanges whole units: slots hold position-0 slots of the two units.
+ * Encode moves the qubit at slots[1] (a bare unit) into position 1 of
+ * slots[0]'s unit; Decode reverses it.
+ */
+struct PhysGate
+{
+    PhysGateClass cls;
+    std::vector<SlotId> slots;
+
+    /** Underlying logical operation (X/H/CX/Swap/...); the second
+     *  entry is used by fused SqEncBoth gates. */
+    GateType logical = GateType::X;
+    GateType logical2 = GateType::X;
+    double param = 0.0;
+    double param2 = 0.0;
+
+    /** True for SWAPs (and ENC/DEC shuffling) inserted by the router
+     *  rather than demanded by the program. */
+    bool isRouting = false;
+
+    /** Index of the originating logical gate; -1 for routing ops. */
+    int sourceGate = -1;
+
+    /** Filled by the scheduler. */
+    double start = 0.0;
+    double duration = 0.0;
+    double fidelity = 1.0;
+
+    double end() const { return start + duration; }
+    bool twoUnit() const { return !isSingleUnitClass(cls); }
+
+    /** Units this gate occupies (1 or 2 entries). */
+    std::vector<UnitId> units() const;
+
+    /** Debug rendering, e.g. "CX0q u3:0 -> u5". */
+    std::string str() const;
+};
+
+/**
+ * A compiled program: physical gate list plus the layouts bracketing it.
+ */
+class CompiledCircuit
+{
+  public:
+    CompiledCircuit() = default;
+    CompiledCircuit(Layout initial, std::string name);
+
+    const std::string &name() const { return name_; }
+
+    const Layout &initialLayout() const { return initial_; }
+    const Layout &finalLayout() const { return final_; }
+    void setFinalLayout(Layout l) { final_ = std::move(l); }
+
+    const std::vector<PhysGate> &gates() const { return gates_; }
+    std::vector<PhysGate> &mutableGates() { return gates_; }
+    void add(PhysGate g) { gates_.push_back(std::move(g)); }
+    int numGates() const { return static_cast<int>(gates_.size()); }
+
+    /** Total scheduled duration (max end time), ns. */
+    double totalDuration() const;
+
+    /** Number of router-inserted gates. */
+    int numRoutingGates() const;
+
+    /** Per-class gate counts. */
+    std::vector<int> classHistogram() const;
+
+  private:
+    Layout initial_;
+    Layout final_;
+    std::string name_;
+    std::vector<PhysGate> gates_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_COMPILED_CIRCUIT_HH

@@ -1,0 +1,89 @@
+#include "compiler/cost_model.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+CostModel::CostModel(const ExpandedGraph &xg, const GateLibrary &lib,
+                     double through_ququart_penalty)
+    : xg_(&xg), lib_(&lib), penalty_(through_ququart_penalty)
+{
+    QFATAL_IF(penalty_ < 1.0, "through-ququart penalty must be >= 1");
+}
+
+double
+CostModel::unitDecay(UnitId u, double duration, const Layout &layout) const
+{
+    const double t1 = layout.unitEncoded(u) ? lib_->t1Ququart()
+                                            : lib_->t1Qubit();
+    return std::exp(-duration / t1);
+}
+
+double
+CostModel::gateSuccess(PhysGateClass c, SlotId a, SlotId b,
+                       const Layout &layout) const
+{
+    const double dur = lib_->duration(c);
+    double s = lib_->fidelity(c) * unitDecay(slotUnit(a), dur, layout);
+    if (b != kInvalid && slotUnit(b) != slotUnit(a))
+        s *= unitDecay(slotUnit(b), dur, layout);
+    return s;
+}
+
+double
+CostModel::swapCost(SlotId a, SlotId b, const Layout &layout) const
+{
+    const bool same = ExpandedGraph::sameUnit(a, b);
+    const PhysGateClass c = classifySwap(
+        slotPos(a), layout.unitEncoded(slotUnit(a)),
+        slotPos(b), layout.unitEncoded(slotUnit(b)), same);
+    return -std::log(gateSuccess(c, a, b, layout));
+}
+
+double
+CostModel::routingHopCost(SlotId from, SlotId into,
+                          const Layout &layout) const
+{
+    if (!layout.occupied(into))
+        return ShortestPaths::kInf;
+    double cost = swapCost(from, into, layout);
+    if (!ExpandedGraph::sameUnit(from, into) &&
+        layout.unitEncoded(slotUnit(into))) {
+        cost *= penalty_;
+    }
+    return cost;
+}
+
+double
+CostModel::cxCost(SlotId ctl, SlotId tgt, const Layout &layout) const
+{
+    const bool same = ExpandedGraph::sameUnit(ctl, tgt);
+    const PhysGateClass c = classifyCx(
+        slotPos(ctl), layout.unitEncoded(slotUnit(ctl)),
+        slotPos(tgt), layout.unitEncoded(slotUnit(tgt)), same);
+    return -std::log(gateSuccess(c, ctl, tgt, layout));
+}
+
+ShortestPaths
+CostModel::mappingDistances(SlotId source, const Layout &layout) const
+{
+    return dijkstra(
+        xg_->graph(), source,
+        [this, &layout](int u, int v, double) {
+            return swapCost(u, v, layout);
+        });
+}
+
+ShortestPaths
+CostModel::routingDistances(SlotId source, const Layout &layout) const
+{
+    return dijkstra(
+        xg_->graph(), source,
+        [this, &layout](int u, int v, double) {
+            return routingHopCost(u, v, layout);
+        });
+}
+
+} // namespace qompress

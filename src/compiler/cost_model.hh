@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Success-probability pricing of physical operations (paper Eq. 4 and
+ * section 6.1.1): S(i,j,g) = F(g) * exp(-T(g)/T1_i) * exp(-T(g)/T1_j),
+ * with -log S as the additive path cost used by mapping and routing.
+ */
+
+#ifndef QOMPRESS_COMPILER_COST_MODEL_HH
+#define QOMPRESS_COMPILER_COST_MODEL_HH
+
+#include "arch/expanded_graph.hh"
+#include "arch/gate_library.hh"
+#include "compiler/layout.hh"
+#include "graph/algorithms.hh"
+
+namespace qompress {
+
+/**
+ * Prices gates and swap paths against a layout's current encoding
+ * state. The model holds references only; callers own the pieces.
+ */
+class CostModel
+{
+  public:
+    CostModel(const ExpandedGraph &xg, const GateLibrary &lib,
+              double through_ququart_penalty = 1.25);
+
+    /** Success probability of one gate of class @p c on the units of
+     *  @p a (and @p b if two-unit), given the current layout. */
+    double gateSuccess(PhysGateClass c, SlotId a, SlotId b,
+                       const Layout &layout) const;
+
+    /** -log success of a SWAP across expanded-graph edge (a, b). */
+    double swapCost(SlotId a, SlotId b, const Layout &layout) const;
+
+    /**
+     * Routing edge cost: swapCost with the avoid-through-ququarts
+     * penalty applied when the hop displaces a qubit of an encoded
+     * unit (paper section 4.2's second routing constraint). @p into is
+     * the slot whose occupant gets displaced. Infinite when @p into is
+     * unoccupied (routing never creates encodings).
+     */
+    double routingHopCost(SlotId from, SlotId into,
+                          const Layout &layout) const;
+
+    /** -log success of a CX with control slot @p ctl, target @p tgt. */
+    double cxCost(SlotId ctl, SlotId tgt, const Layout &layout) const;
+
+    /**
+     * Mapping distance field from @p source: Dijkstra over the
+     * expanded graph with swap-cost edges priced by the current
+     * encoding state (empty slots traversable at bare-qubit prices --
+     * the optimistic assumption used during placement).
+     */
+    ShortestPaths mappingDistances(SlotId source,
+                                   const Layout &layout) const;
+
+    /**
+     * Routing distance field from @p source: like mappingDistances but
+     * restricted to occupied slots and with the through-ququart
+     * penalty (used to pick SWAP paths).
+     */
+    ShortestPaths routingDistances(SlotId source,
+                                   const Layout &layout) const;
+
+    const ExpandedGraph &expanded() const { return *xg_; }
+    const GateLibrary &library() const { return *lib_; }
+    double throughQuquartPenalty() const { return penalty_; }
+
+  private:
+    double unitDecay(UnitId u, double duration,
+                     const Layout &layout) const;
+
+    const ExpandedGraph *xg_;
+    const GateLibrary *lib_;
+    double penalty_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_COST_MODEL_HH

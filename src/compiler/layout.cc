@@ -1,0 +1,97 @@
+#include "compiler/layout.hh"
+
+#include "common/error.hh"
+
+namespace qompress {
+
+Layout::Layout(int num_qubits, int num_units)
+    : qubitToSlot_(num_qubits, kInvalid),
+      slotToQubit_(2 * num_units, kInvalid)
+{
+    QFATAL_IF(num_qubits < 0 || num_units < 0, "negative layout size");
+}
+
+SlotId
+Layout::slotOf(QubitId q) const
+{
+    QPANIC_IF(q < 0 || q >= numQubits(), "slotOf: bad qubit ", q);
+    return qubitToSlot_[q];
+}
+
+QubitId
+Layout::qubitAt(SlotId slot) const
+{
+    QPANIC_IF(slot < 0 || slot >= numSlots(), "qubitAt: bad slot ", slot);
+    return slotToQubit_[slot];
+}
+
+int
+Layout::numMapped() const
+{
+    int count = 0;
+    for (SlotId s : qubitToSlot_) {
+        if (s != kInvalid)
+            ++count;
+    }
+    return count;
+}
+
+void
+Layout::place(QubitId q, SlotId slot)
+{
+    QPANIC_IF(slotOf(q) != kInvalid, "place: qubit ", q, " already mapped");
+    QPANIC_IF(qubitAt(slot) != kInvalid, "place: slot ", slot, " occupied");
+    qubitToSlot_[q] = slot;
+    slotToQubit_[slot] = q;
+}
+
+void
+Layout::remove(QubitId q)
+{
+    const SlotId s = slotOf(q);
+    QPANIC_IF(s == kInvalid, "remove: qubit ", q, " not mapped");
+    qubitToSlot_[q] = kInvalid;
+    slotToQubit_[s] = kInvalid;
+}
+
+void
+Layout::swapSlots(SlotId a, SlotId b)
+{
+    QPANIC_IF(a < 0 || a >= numSlots() || b < 0 || b >= numSlots(),
+              "swapSlots: bad slots ", a, ", ", b);
+    const QubitId qa = slotToQubit_[a];
+    const QubitId qb = slotToQubit_[b];
+    slotToQubit_[a] = qb;
+    slotToQubit_[b] = qa;
+    if (qa != kInvalid)
+        qubitToSlot_[qa] = b;
+    if (qb != kInvalid)
+        qubitToSlot_[qb] = a;
+}
+
+bool
+Layout::unitEncoded(UnitId u) const
+{
+    return unitOccupancy(u) == 2;
+}
+
+int
+Layout::unitOccupancy(UnitId u) const
+{
+    QPANIC_IF(u < 0 || u >= numUnits(), "unitOccupancy: bad unit ", u);
+    return (qubitAt(makeSlot(u, 0)) != kInvalid ? 1 : 0) +
+           (qubitAt(makeSlot(u, 1)) != kInvalid ? 1 : 0);
+}
+
+int
+Layout::numEncodedUnits() const
+{
+    int count = 0;
+    for (UnitId u = 0; u < numUnits(); ++u) {
+        if (unitEncoded(u))
+            ++count;
+    }
+    return count;
+}
+
+} // namespace qompress

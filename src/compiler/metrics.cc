@@ -1,0 +1,109 @@
+#include "compiler/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+Metrics
+computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib)
+{
+    Metrics m;
+    m.numGates = compiled.numGates();
+    m.numRoutingGates = compiled.numRoutingGates();
+    m.classHistogram = compiled.classHistogram();
+    m.durationNs = compiled.totalDuration();
+    m.numEncodedUnits = compiled.initialLayout().numEncodedUnits();
+
+    for (const auto &g : compiled.gates()) {
+        m.gateEps *= g.fidelity;
+        if (g.twoUnit())
+            ++m.numTwoUnitGates;
+    }
+
+    // Coherence: sweep occupancy-change events in time order. Between
+    // events, each unit holding k qubits contributes k*dt/T1(state)
+    // where the state is ququart iff k == 2.
+    const Layout &init = compiled.initialLayout();
+    const int num_units = init.numUnits();
+    std::vector<int> occ(num_units, 0);
+    for (UnitId u = 0; u < num_units; ++u)
+        occ[u] = init.unitOccupancy(u);
+
+    struct Event
+    {
+        double time;
+        UnitId unit;
+        int newOcc;
+    };
+    std::vector<Event> events;
+    for (const auto &g : compiled.gates()) {
+        if (g.cls == PhysGateClass::Encode &&
+            !ExpandedGraph::sameUnit(g.slots[0], g.slots[1])) {
+            // Worst case: the pair counts as a ququart from ENC start.
+            events.push_back({g.start, slotUnit(g.slots[0]), 2});
+            events.push_back({g.start, slotUnit(g.slots[1]), 0});
+        } else if (g.cls == PhysGateClass::Decode) {
+            // Worst case: still a ququart until DEC completes.
+            events.push_back({g.end(), slotUnit(g.slots[0]), 1});
+            events.push_back({g.end(), slotUnit(g.slots[1]), 1});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.time < b.time;
+              });
+
+    auto rate_of = [&](int k) {
+        if (k == 0)
+            return 0.0;
+        return k == 2 ? 2.0 / lib.t1Ququart() : 1.0 / lib.t1Qubit();
+    };
+    double rate = 0.0;
+    double qb_rate = 0.0; // qubits currently in qubit state
+    double qd_rate = 0.0; // qubits currently in ququart state
+    for (UnitId u = 0; u < num_units; ++u) {
+        rate += rate_of(occ[u]);
+        if (occ[u] == 1)
+            qb_rate += 1.0;
+        else if (occ[u] == 2)
+            qd_rate += 2.0;
+    }
+
+    double integral = 0.0;
+    double now = 0.0;
+    const double total = m.durationNs;
+    for (const auto &ev : events) {
+        const double t = std::min(ev.time, total);
+        if (t > now) {
+            integral += rate * (t - now);
+            m.qubitTimeNs += qb_rate * (t - now);
+            m.ququartTimeNs += qd_rate * (t - now);
+            now = t;
+        }
+        rate -= rate_of(occ[ev.unit]);
+        if (occ[ev.unit] == 1)
+            qb_rate -= 1.0;
+        else if (occ[ev.unit] == 2)
+            qd_rate -= 2.0;
+        occ[ev.unit] = ev.newOcc;
+        rate += rate_of(occ[ev.unit]);
+        if (occ[ev.unit] == 1)
+            qb_rate += 1.0;
+        else if (occ[ev.unit] == 2)
+            qd_rate += 2.0;
+    }
+    if (total > now) {
+        integral += rate * (total - now);
+        m.qubitTimeNs += qb_rate * (total - now);
+        m.ququartTimeNs += qd_rate * (total - now);
+    }
+
+    m.coherenceEps = std::exp(-integral);
+    m.totalEps = m.gateEps * m.coherenceEps;
+    return m;
+}
+
+} // namespace qompress

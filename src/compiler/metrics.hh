@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Expected-Probability-of-Success metrics (paper section 6.1.1):
+ * gate-fidelity product, worst-case coherence factor, and their
+ * product, plus gate-mix accounting for the Figure 8 analysis.
+ */
+
+#ifndef QOMPRESS_COMPILER_METRICS_HH
+#define QOMPRESS_COMPILER_METRICS_HH
+
+#include <vector>
+
+#include "compiler/compiled_circuit.hh"
+
+namespace qompress {
+
+/** Evaluation results for one compiled circuit. */
+struct Metrics
+{
+    /** Product of per-gate success probabilities. */
+    double gateEps = 1.0;
+    /** Product over logical qubits of exp(-t_qb/T1qb - t_qd/T1qd). */
+    double coherenceEps = 1.0;
+    /** gateEps * coherenceEps. */
+    double totalEps = 1.0;
+
+    /** Scheduled circuit duration, ns. */
+    double durationNs = 0.0;
+
+    int numGates = 0;
+    int numRoutingGates = 0;
+    int numTwoUnitGates = 0;
+    int numEncodedUnits = 0;
+
+    /** Gate count per PhysGateClass. */
+    std::vector<int> classHistogram;
+
+    /** Aggregate qubit-state and ququart-state dwell time (ns) summed
+     *  over logical qubits (the exponents' numerators). */
+    double qubitTimeNs = 0.0;
+    double ququartTimeNs = 0.0;
+};
+
+/**
+ * Evaluate a scheduled circuit.
+ *
+ * The coherence factor uses the paper's worst-case accounting: every
+ * logical qubit is live for the whole circuit; a qubit is in ququart
+ * state whenever its unit holds two logical qubits, with occupancy
+ * transitions at ENC starts and DEC ends (the pessimistic edges).
+ */
+Metrics computeMetrics(const CompiledCircuit &compiled,
+                       const GateLibrary &lib);
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_METRICS_HH

@@ -1,0 +1,66 @@
+#include "compiler/pipeline.hh"
+
+#include "common/error.hh"
+#include "ir/passes.hh"
+
+namespace qompress {
+
+std::vector<Compression>
+encodedPairsOf(const Layout &layout)
+{
+    std::vector<Compression> pairs;
+    for (UnitId u = 0; u < layout.numUnits(); ++u) {
+        if (layout.unitEncoded(u)) {
+            pairs.push_back({layout.qubitAt(makeSlot(u, 0)),
+                             layout.qubitAt(makeSlot(u, 1))});
+        }
+    }
+    return pairs;
+}
+
+CompileResult
+compileWithPairs(const Circuit &circuit, const Topology &topo,
+                 const GateLibrary &lib,
+                 const std::vector<Compression> &pairs,
+                 bool allow_dynamic_slot1, const CompilerConfig &cfg)
+{
+    const Circuit native = isNative(circuit)
+        ? circuit : decomposeToNativeGates(circuit);
+
+    const InteractionModel im(native);
+    const ExpandedGraph xg(topo);
+    const CostModel cost(xg, lib, cfg.throughQuquartPenalty);
+
+    MapperOptions mopts;
+    mopts.allowDynamicSlot1 = allow_dynamic_slot1;
+    mopts.pairs = pairs;
+    Layout layout = mapCircuit(native, im, cost, mopts);
+
+    CompileResult result;
+    result.compressions = encodedPairsOf(layout);
+    result.compiled = CompiledCircuit(layout, native.name());
+
+    if (cfg.chargeInitialEnc) {
+        for (UnitId u = 0; u < layout.numUnits(); ++u) {
+            if (!layout.unitEncoded(u))
+                continue;
+            PhysGate enc;
+            enc.cls = PhysGateClass::Encode;
+            enc.slots = {makeSlot(u, 0), makeSlot(u, 1)};
+            enc.logical = GateType::Swap; // no logical counterpart
+            enc.isRouting = false;
+            result.compiled.add(enc);
+        }
+    }
+
+    RouterOptions ropts;
+    ropts.lookaheadWeight = cfg.lookaheadWeight;
+    routeCircuit(native, layout, cost, result.compiled, ropts);
+    scheduleCompiled(result.compiled, lib);
+    if (cfg.validate)
+        validateCompiled(result.compiled, topo);
+    result.metrics = computeMetrics(result.compiled, lib);
+    return result;
+}
+
+} // namespace qompress

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The end-to-end Qompress pipeline: decompose, map (with a set of
+ * compressions), route, schedule, evaluate.
+ */
+
+#ifndef QOMPRESS_COMPILER_PIPELINE_HH
+#define QOMPRESS_COMPILER_PIPELINE_HH
+
+#include <vector>
+
+#include "arch/topology.hh"
+#include "compiler/mapper.hh"
+#include "compiler/metrics.hh"
+#include "compiler/router.hh"
+#include "compiler/scheduler.hh"
+
+namespace qompress {
+
+/** Pipeline-wide knobs. */
+struct CompilerConfig
+{
+    /** Charge one ENC gate per compressed pair at t = 0. */
+    bool chargeInitialEnc = true;
+
+    /** Multiplier discouraging SWAP paths that displace qubits of
+     *  foreign ququarts (paper's second routing constraint). */
+    double throughQuquartPenalty = 1.25;
+
+    /** Router lookahead weight (0 = off); see RouterOptions. */
+    double lookaheadWeight = 0.0;
+
+    /** Run the structural validator on every compile (cheap; the
+     *  exhaustive strategy turns it off in its inner loop). */
+    bool validate = true;
+};
+
+/** Everything a compile produces. */
+struct CompileResult
+{
+    CompiledCircuit compiled;
+    Metrics metrics;
+    /** Pairs actually encoded (explicit or arising from EQM mapping). */
+    std::vector<Compression> compressions;
+};
+
+/**
+ * Compile @p circuit onto @p topo with the given committed pairs.
+ *
+ * @param allow_dynamic_slot1 let the mapper form additional pairs on
+ *        its own (the EQM behaviour).
+ */
+CompileResult compileWithPairs(const Circuit &circuit,
+                               const Topology &topo,
+                               const GateLibrary &lib,
+                               const std::vector<Compression> &pairs,
+                               bool allow_dynamic_slot1,
+                               const CompilerConfig &cfg = {});
+
+/** The pairs sharing a unit in @p layout (first = position 0). */
+std::vector<Compression> encodedPairsOf(const Layout &layout);
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_PIPELINE_HH

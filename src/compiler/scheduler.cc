@@ -1,0 +1,58 @@
+#include "compiler/scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+void
+scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib)
+{
+    const int num_units = compiled.initialLayout().numUnits();
+    std::vector<double> unit_free(num_units, 0.0);
+    for (auto &g : compiled.mutableGates()) {
+        g.duration = lib.duration(g.cls);
+        g.fidelity = lib.fidelity(g.cls);
+        double t = 0.0;
+        for (UnitId u : g.units()) {
+            QPANIC_IF(u < 0 || u >= num_units, "gate on unknown unit ", u);
+            t = std::max(t, unit_free[u]);
+        }
+        g.start = t;
+        for (UnitId u : g.units())
+            unit_free[u] = t + g.duration;
+    }
+}
+
+std::vector<bool>
+criticalGates(const CompiledCircuit &compiled)
+{
+    const auto &gates = compiled.gates();
+    const int n = static_cast<int>(gates.size());
+    const int num_units = compiled.initialLayout().numUnits();
+    const double total = compiled.totalDuration();
+
+    // Longest remaining path per gate via per-unit successor chains.
+    std::vector<double> rem(n, 0.0);
+    std::vector<int> next_on_unit(num_units, -1);
+    std::vector<bool> critical(n, false);
+    for (int i = n - 1; i >= 0; --i) {
+        double succ = 0.0;
+        for (UnitId u : gates[i].units()) {
+            const int nx = next_on_unit[u];
+            if (nx != -1)
+                succ = std::max(succ, rem[nx]);
+        }
+        rem[i] = gates[i].duration + succ;
+        for (UnitId u : gates[i].units())
+            next_on_unit[u] = i;
+    }
+    constexpr double kEps = 1e-6;
+    for (int i = 0; i < n; ++i)
+        critical[i] = gates[i].start + rem[i] >= total - kEps;
+    return critical;
+}
+
+} // namespace qompress

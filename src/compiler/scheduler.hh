@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Resource-constrained ASAP scheduling of compiled circuits: each
+ * physical unit executes one gate at a time, which realizes the
+ * ququart serialization the paper describes, and start times feed the
+ * coherence-error model.
+ */
+
+#ifndef QOMPRESS_COMPILER_SCHEDULER_HH
+#define QOMPRESS_COMPILER_SCHEDULER_HH
+
+#include <vector>
+
+#include "compiler/compiled_circuit.hh"
+
+namespace qompress {
+
+/**
+ * Assign start/duration/fidelity to every gate, in list order, with
+ * per-unit earliest-availability (gates on disjoint units overlap
+ * freely; gates sharing a unit serialize).
+ */
+void scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib);
+
+/**
+ * After scheduling: flags gates lying on a longest (critical) path.
+ * Used by the Exhaustive Compression strategy's priority classes.
+ */
+std::vector<bool> criticalGates(const CompiledCircuit &compiled);
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_SCHEDULER_HH

@@ -1,0 +1,92 @@
+#include "eval/sweep.hh"
+
+#include <set>
+
+#include "circuits/registry.hh"
+#include "common/error.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+std::vector<SweepRecord>
+runSweep(const SweepSpec &spec)
+{
+    QFATAL_IF(spec.families.empty() || spec.sizes.empty() ||
+              spec.strategies.empty(),
+              "sweep needs families, sizes, and strategies");
+    auto make_device = spec.device
+        ? spec.device
+        : [](const Circuit &c) { return Topology::grid(c.numQubits()); };
+
+    std::vector<SweepRecord> records;
+    for (const auto &family_name : spec.families) {
+        const auto &family = benchmarkFamily(family_name);
+        std::set<int> seen_sizes; // families snap sizes downward
+        for (int size : spec.sizes) {
+            if (size < family.minQubits)
+                continue;
+            const Circuit circuit = family.make(size);
+            if (!seen_sizes.insert(circuit.numQubits()).second)
+                continue;
+            const Topology device = make_device(circuit);
+            for (const auto &strategy_name : spec.strategies) {
+                SweepRecord rec;
+                rec.family = family_name;
+                rec.strategy = strategy_name;
+                rec.requestedSize = size;
+                try {
+                    const auto res =
+                        makeStrategy(strategy_name)
+                            ->compile(circuit, device, spec.library,
+                                      spec.config);
+                    rec.qubits = circuit.numQubits();
+                    rec.metrics = res.metrics;
+                    rec.numCompressions =
+                        static_cast<int>(res.compressions.size());
+                } catch (const FatalError &) {
+                    rec.qubits = 0; // did not fit
+                }
+                records.push_back(std::move(rec));
+            }
+        }
+    }
+    return records;
+}
+
+std::vector<SweepRecord>
+filterSweep(const std::vector<SweepRecord> &records,
+            const std::string &family, const std::string &strategy)
+{
+    std::vector<SweepRecord> out;
+    for (const auto &r : records) {
+        if (r.family == family && r.strategy == strategy &&
+            r.qubits > 0) {
+            out.push_back(r);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+sweepRatios(const std::vector<SweepRecord> &records,
+            const std::string &family, const std::string &strategy,
+            const std::string &baseline,
+            const std::function<double(const Metrics &)> &metric)
+{
+    const auto xs = filterSweep(records, family, strategy);
+    const auto bs = filterSweep(records, family, baseline);
+    std::vector<double> out;
+    for (const auto &x : xs) {
+        for (const auto &b : bs) {
+            if (b.requestedSize == x.requestedSize) {
+                const double denom = metric(b.metrics);
+                if (denom > 0.0)
+                    out.push_back(metric(x.metrics) / denom);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace qompress

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reusable evaluation harness: compile (family x size x strategy)
+ * grids and return structured records. Shared by the figure benches
+ * and by test_paper_claims.cc, which turns the paper's qualitative
+ * claims into executable assertions.
+ */
+
+#ifndef QOMPRESS_EVAL_SWEEP_HH
+#define QOMPRESS_EVAL_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/topology.hh"
+#include "compiler/pipeline.hh"
+
+namespace qompress {
+
+/** One compiled data point of a sweep. */
+struct SweepRecord
+{
+    std::string family;
+    std::string strategy;
+    int requestedSize = 0;
+    int qubits = 0;
+    Metrics metrics;
+    int numCompressions = 0;
+};
+
+/** Sweep configuration. */
+struct SweepSpec
+{
+    std::vector<std::string> families;   ///< registry names
+    std::vector<int> sizes;              ///< requested qubit budgets
+    std::vector<std::string> strategies; ///< strategy registry names
+    GateLibrary library;                 ///< calibration to use
+    CompilerConfig config;               ///< pipeline knobs
+    /** Device factory per circuit (defaults to a fitted grid). */
+    std::function<Topology(const Circuit &)> device;
+};
+
+/**
+ * Run the sweep; instances whose snapped qubit count repeats within a
+ * family are deduplicated, and strategies that cannot fit a circuit
+ * are skipped (recorded with qubits = 0).
+ */
+std::vector<SweepRecord> runSweep(const SweepSpec &spec);
+
+/** Records for one (family, strategy), ordered by size. */
+std::vector<SweepRecord>
+filterSweep(const std::vector<SweepRecord> &records,
+            const std::string &family, const std::string &strategy);
+
+/**
+ * Per-size metric ratio of @p strategy over @p baseline for one
+ * family (only sizes where both compiled).
+ */
+std::vector<double>
+sweepRatios(const std::vector<SweepRecord> &records,
+            const std::string &family, const std::string &strategy,
+            const std::string &baseline,
+            const std::function<double(const Metrics &)> &metric);
+
+} // namespace qompress
+
+#endif // QOMPRESS_EVAL_SWEEP_HH

@@ -1,0 +1,97 @@
+#include "ir/interaction.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+InteractionModel::InteractionModel(const Circuit &c)
+    : n_(c.numQubits()), graph_(c.numQubits()),
+      pairCount_(c.numQubits(), std::vector<int>(c.numQubits(), 0)),
+      simulUse_(c.numQubits(), std::vector<int>(c.numQubits(), 0))
+{
+    const auto layers = c.asapLayers();
+    // layerGate[q] per layer: which gate index occupies qubit q.
+    std::map<int, std::vector<std::pair<QubitId, int>>> layer_use;
+
+    const auto &gates = c.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        for (QubitId q : g.qubits)
+            layer_use[layers[i]].push_back({q, static_cast<int>(i)});
+        if (g.arity() < 2)
+            continue;
+        const double contrib = 1.0 / static_cast<double>(layers[i]);
+        for (int a = 0; a < g.arity(); ++a) {
+            for (int b = a + 1; b < g.arity(); ++b) {
+                const QubitId i0 = g.qubits[a];
+                const QubitId j0 = g.qubits[b];
+                graph_.bumpEdgeWeight(i0, j0, contrib);
+                ++pairCount_[i0][j0];
+                ++pairCount_[j0][i0];
+            }
+        }
+    }
+
+    // Simultaneity: pairs of qubits busy in the same layer but in
+    // different gates.
+    for (const auto &[layer, uses] : layer_use) {
+        (void)layer;
+        for (std::size_t a = 0; a < uses.size(); ++a) {
+            for (std::size_t b = a + 1; b < uses.size(); ++b) {
+                if (uses[a].second == uses[b].second)
+                    continue;
+                const QubitId qa = uses[a].first;
+                const QubitId qb = uses[b].first;
+                ++simulUse_[qa][qb];
+                ++simulUse_[qb][qa];
+            }
+        }
+    }
+}
+
+double
+InteractionModel::weight(QubitId i, QubitId j) const
+{
+    return graph_.hasEdge(i, j) ? graph_.edgeWeight(i, j) : 0.0;
+}
+
+double
+InteractionModel::totalWeight(QubitId i) const
+{
+    double sum = 0.0;
+    for (const auto &e : graph_.neighbors(i))
+        sum += e.weight;
+    return sum;
+}
+
+int
+InteractionModel::pairGateCount(QubitId i, QubitId j) const
+{
+    QPANIC_IF(i < 0 || i >= n_ || j < 0 || j >= n_,
+              "pairGateCount: bad qubits ", i, ", ", j);
+    return pairCount_[i][j];
+}
+
+int
+InteractionModel::simultaneousUse(QubitId i, QubitId j) const
+{
+    QPANIC_IF(i < 0 || i >= n_ || j < 0 || j >= n_,
+              "simultaneousUse: bad qubits ", i, ", ", j);
+    return simulUse_[i][j];
+}
+
+int
+InteractionModel::sharedNeighbors(QubitId i, QubitId j) const
+{
+    int shared = 0;
+    for (const auto &e : graph_.neighbors(i)) {
+        if (e.to != j && graph_.hasEdge(j, e.to))
+            ++shared;
+    }
+    return shared;
+}
+
+} // namespace qompress

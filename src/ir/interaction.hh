@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Circuit interaction analysis used by mapping and compression
+ * strategies (paper sections 4.2 and 5).
+ */
+
+#ifndef QOMPRESS_IR_INTERACTION_HH
+#define QOMPRESS_IR_INTERACTION_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Interaction statistics of a logical circuit.
+ *
+ * Vertices of graph() are logical qubits; edge weights are the paper's
+ * w(i,j) = sum over 2-qubit gates touching {i,j} of 1/s(o) where s(o) is
+ * the 1-based ASAP timestep.
+ */
+class InteractionModel
+{
+  public:
+    /** Analyze @p c (only multi-qubit gates contribute edges). */
+    explicit InteractionModel(const Circuit &c);
+
+    /** Weighted interaction graph over logical qubits. */
+    const Graph &graph() const { return graph_; }
+
+    /** w(i, j); 0 when the qubits never interact. */
+    double weight(QubitId i, QubitId j) const;
+
+    /** W(i) = sum_j w(i, j), the paper's placement seed score. */
+    double totalWeight(QubitId i) const;
+
+    /** Raw count of 2-qubit gates between i and j. */
+    int pairGateCount(QubitId i, QubitId j) const;
+
+    /**
+     * Number of ASAP layers in which both i and j are busy but in
+     * *different* gates — compressing such a pair forces serialization
+     * (used by the Ring-Based strategy's simultaneity penalty).
+     */
+    int simultaneousUse(QubitId i, QubitId j) const;
+
+    /** Number of common interaction partners of i and j. */
+    int sharedNeighbors(QubitId i, QubitId j) const;
+
+  private:
+    int n_;
+    Graph graph_;
+    std::vector<std::vector<int>> pairCount_;
+    std::vector<std::vector<int>> simulUse_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_IR_INTERACTION_HH

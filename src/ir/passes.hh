@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Circuit-to-circuit lowering passes run before mapping.
+ */
+
+#ifndef QOMPRESS_IR_PASSES_HH
+#define QOMPRESS_IR_PASSES_HH
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Lower every gate to the compiler's native set: 1-qubit gates plus
+ * CX and SWAP.
+ *
+ * CCX uses the standard 6-CX Clifford+T decomposition; CZ becomes
+ * H-CX-H on the target. Other gates pass through unchanged.
+ */
+Circuit decomposeToNativeGates(const Circuit &in);
+
+/** True iff the circuit contains only 1-qubit gates, CX, and SWAP. */
+bool isNative(const Circuit &in);
+
+/**
+ * Drop trivially cancelling adjacent self-inverse pairs (X-X, H-H,
+ * CX-CX on identical operands with no interposed gate on either qubit).
+ * A light cleanup pass used by tests and examples.
+ */
+Circuit cancelAdjacentPairs(const Circuit &in);
+
+/**
+ * Merge adjacent same-axis rotations (RZ a; RZ b -> RZ a+b, same for
+ * RX/RY) and drop rotations that reduce to identity modulo 2 pi.
+ */
+Circuit mergeRotations(const Circuit &in);
+
+/** Replace every SWAP with the canonical three-CX expansion. */
+Circuit decomposeSwaps(const Circuit &in);
+
+/**
+ * Fixpoint cleanup: cancelAdjacentPairs + mergeRotations until the
+ * gate count stops shrinking.
+ */
+Circuit optimizeCircuit(const Circuit &in);
+
+} // namespace qompress
+
+#endif // QOMPRESS_IR_PASSES_HH

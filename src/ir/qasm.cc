@@ -1,0 +1,337 @@
+#include "ir/qasm.hh"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+/** Cursor over the source with line tracking for error messages. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &text) : text_(text) {}
+
+    int line() const { return line_; }
+    bool atEnd() { skipWhitespace(); return pos_ >= text_.size(); }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    char
+    get()
+    {
+        skipWhitespace();
+        QFATAL_IF(pos_ >= text_.size(), "qasm line ", line_,
+                  ": unexpected end of input");
+        return advance();
+    }
+
+    void
+    expect(char c)
+    {
+        const char got = get();
+        QFATAL_IF(got != c, "qasm line ", line_, ": expected '", c,
+                  "', got '", got, "'");
+    }
+
+    /** [A-Za-z_][A-Za-z0-9_]* */
+    std::string
+    identifier()
+    {
+        skipWhitespace();
+        QFATAL_IF(pos_ >= text_.size() ||
+                  (!std::isalpha(static_cast<unsigned char>(
+                       text_[pos_])) && text_[pos_] != '_'),
+                  "qasm line ", line_, ": expected identifier");
+        std::string out;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+            out += advance();
+        }
+        return out;
+    }
+
+    int
+    integer()
+    {
+        skipWhitespace();
+        QFATAL_IF(pos_ >= text_.size() ||
+                  !std::isdigit(static_cast<unsigned char>(text_[pos_])),
+                  "qasm line ", line_, ": expected integer");
+        int v = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            v = v * 10 + (advance() - '0');
+        }
+        return v;
+    }
+
+    double
+    number()
+    {
+        skipWhitespace();
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+            ++end;
+        }
+        QFATAL_IF(end == pos_, "qasm line ", line_, ": expected number");
+        const std::string tok = text_.substr(pos_, end - pos_);
+        while (pos_ < end)
+            advance();
+        try {
+            return std::stod(tok);
+        } catch (const std::exception &) {
+            QFATAL("qasm line ", line_, ": bad number '", tok, "'");
+        }
+    }
+
+    /** Skip to just past the next ';'. */
+    void
+    skipStatement()
+    {
+        while (pos_ < text_.size() && text_[pos_] != ';')
+            advance();
+        if (pos_ < text_.size())
+            advance();
+    }
+
+  private:
+    char
+    advance()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** Recursive-descent constant-expression evaluator: numbers, pi,
+ *  unary minus, + - * /, parentheses. */
+class ExprParser
+{
+  public:
+    explicit ExprParser(Lexer &lex) : lex_(lex) {}
+
+    double
+    parse()
+    {
+        return sum();
+    }
+
+  private:
+    double
+    sum()
+    {
+        double v = product();
+        while (lex_.peek() == '+' || lex_.peek() == '-') {
+            const char op = lex_.get();
+            const double rhs = product();
+            v = op == '+' ? v + rhs : v - rhs;
+        }
+        return v;
+    }
+
+    double
+    product()
+    {
+        double v = unary();
+        while (lex_.peek() == '*' || lex_.peek() == '/') {
+            const char op = lex_.get();
+            const double rhs = unary();
+            if (op == '/') {
+                QFATAL_IF(rhs == 0.0, "qasm line ", lex_.line(),
+                          ": division by zero in parameter");
+                v /= rhs;
+            } else {
+                v *= rhs;
+            }
+        }
+        return v;
+    }
+
+    double
+    unary()
+    {
+        if (lex_.peek() == '-') {
+            lex_.get();
+            return -unary();
+        }
+        if (lex_.peek() == '+') {
+            lex_.get();
+            return unary();
+        }
+        if (lex_.peek() == '(') {
+            lex_.get();
+            const double v = sum();
+            lex_.expect(')');
+            return v;
+        }
+        if (std::isalpha(static_cast<unsigned char>(lex_.peek()))) {
+            const std::string id = lex_.identifier();
+            QFATAL_IF(id != "pi", "qasm line ", lex_.line(),
+                      ": unknown constant '", id, "'");
+            return M_PI;
+        }
+        return lex_.number();
+    }
+
+    Lexer &lex_;
+};
+
+const std::map<std::string, GateType> &
+gateTable()
+{
+    static const std::map<std::string, GateType> table = {
+        {"x", GateType::X},     {"y", GateType::Y},
+        {"z", GateType::Z},     {"h", GateType::H},
+        {"s", GateType::S},     {"sdg", GateType::Sdg},
+        {"t", GateType::T},     {"tdg", GateType::Tdg},
+        {"rx", GateType::RX},   {"ry", GateType::RY},
+        {"rz", GateType::RZ},   {"cx", GateType::CX},
+        {"CX", GateType::CX},   {"cz", GateType::CZ},
+        {"swap", GateType::Swap}, {"ccx", GateType::CCX},
+        {"toffoli", GateType::CCX},
+    };
+    return table;
+}
+
+} // namespace
+
+Circuit
+parseQasm(const std::string &text, const std::string &name)
+{
+    Lexer lex(text);
+
+    // Header: OPENQASM <ver>; (optional) include "...";
+    std::string first = lex.identifier();
+    QFATAL_IF(first != "OPENQASM", "qasm line ", lex.line(),
+              ": expected OPENQASM header, got '", first, "'");
+    lex.skipStatement();
+
+    std::string qreg_name;
+    int num_qubits = -1;
+    std::vector<Gate> gates;
+
+    while (!lex.atEnd()) {
+        const std::string word = lex.identifier();
+        if (word == "include" || word == "creg" || word == "barrier" ||
+            word == "measure" || word == "reset") {
+            lex.skipStatement();
+            continue;
+        }
+        if (word == "qreg") {
+            QFATAL_IF(num_qubits != -1, "qasm line ", lex.line(),
+                      ": multiple qreg declarations are not supported");
+            qreg_name = lex.identifier();
+            lex.expect('[');
+            num_qubits = lex.integer();
+            lex.expect(']');
+            lex.expect(';');
+            QFATAL_IF(num_qubits < 1, "qasm line ", lex.line(),
+                      ": empty qreg");
+            continue;
+        }
+
+        // Gate application.
+        const auto it = gateTable().find(word);
+        QFATAL_IF(it == gateTable().end(), "qasm line ", lex.line(),
+                  ": unsupported statement or gate '", word, "'");
+        QFATAL_IF(num_qubits == -1, "qasm line ", lex.line(),
+                  ": gate before qreg declaration");
+        Gate g;
+        g.type = it->second;
+        if (lex.peek() == '(') {
+            QFATAL_IF(!gateHasParam(g.type), "qasm line ", lex.line(),
+                      ": gate '", word, "' takes no parameter");
+            lex.expect('(');
+            ExprParser expr(lex);
+            g.param = expr.parse();
+            lex.expect(')');
+        } else {
+            QFATAL_IF(gateHasParam(g.type), "qasm line ", lex.line(),
+                      ": gate '", word, "' requires a parameter");
+        }
+        for (int i = 0; i < gateArity(g.type); ++i) {
+            if (i > 0)
+                lex.expect(',');
+            const std::string reg = lex.identifier();
+            QFATAL_IF(reg != qreg_name, "qasm line ", lex.line(),
+                      ": unknown register '", reg, "'");
+            lex.expect('[');
+            const int q = lex.integer();
+            lex.expect(']');
+            QFATAL_IF(q >= num_qubits, "qasm line ", lex.line(),
+                      ": qubit index ", q, " out of range");
+            g.qubits.push_back(q);
+        }
+        lex.expect(';');
+        gates.push_back(std::move(g));
+    }
+
+    QFATAL_IF(num_qubits == -1, "qasm: no qreg declaration found");
+    Circuit circuit(num_qubits, name);
+    for (auto &g : gates)
+        circuit.add(std::move(g));
+    return circuit;
+}
+
+Circuit
+parseQasmFile(const std::string &path)
+{
+    std::ifstream in(path);
+    QFATAL_IF(!in, "cannot open qasm file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    // Derive a circuit name from the file stem.
+    std::string name = path;
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string::npos) {
+        name = name.substr(slash + 1);
+    }
+    if (const auto dot = name.find_last_of('.');
+        dot != std::string::npos) {
+        name = name.substr(0, dot);
+    }
+    return parseQasm(ss.str(), name);
+}
+
+} // namespace qompress

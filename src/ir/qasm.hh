@@ -1,0 +1,33 @@
+/**
+ * @file
+ * OpenQASM 2.0 front end for the subset the Qompress benchmarks use:
+ * one quantum register, the standard 1q/2q/3q gates (x, y, z, h, s,
+ * sdg, t, tdg, rx, ry, rz, cx, cz, swap, ccx), constant-expression
+ * parameters (numbers, pi, + - * / and parentheses), comments,
+ * `creg`/`barrier`/`measure` statements (accepted and ignored).
+ */
+
+#ifndef QOMPRESS_IR_QASM_HH
+#define QOMPRESS_IR_QASM_HH
+
+#include <string>
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Parse OpenQASM 2.0 source text into a Circuit.
+ *
+ * @throws FatalError with a line number on malformed input or
+ *         constructs outside the supported subset.
+ */
+Circuit parseQasm(const std::string &text,
+                  const std::string &name = "qasm");
+
+/** Parse a .qasm file (FatalError if unreadable). */
+Circuit parseQasmFile(const std::string &path);
+
+} // namespace qompress
+
+#endif // QOMPRESS_IR_QASM_HH

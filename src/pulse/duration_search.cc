@@ -1,0 +1,65 @@
+#include "pulse/duration_search.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+/** Linear resampling of piecewise-constant controls onto a new grid. */
+std::vector<std::vector<double>>
+resample(const std::vector<std::vector<double>> &controls, int segments)
+{
+    std::vector<std::vector<double>> out(
+        controls.size(), std::vector<double>(segments, 0.0));
+    for (std::size_t k = 0; k < controls.size(); ++k) {
+        const int old_n = static_cast<int>(controls[k].size());
+        for (int j = 0; j < segments; ++j) {
+            const double x = (j + 0.5) / segments * old_n - 0.5;
+            const int lo = std::clamp(static_cast<int>(std::floor(x)),
+                                      0, old_n - 1);
+            const int hi = std::min(lo + 1, old_n - 1);
+            const double frac = std::clamp(x - lo, 0.0, 1.0);
+            out[k][j] = (1.0 - frac) * controls[k][lo] +
+                        frac * controls[k][hi];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DurationSearchResult
+minimizeDuration(const TransmonSystem &system, const CMatrix &target,
+                 const DurationSearchOptions &opts)
+{
+    QFATAL_IF(opts.shrinkFactor <= 0.0 || opts.shrinkFactor >= 1.0,
+              "shrink factor must lie in (0, 1)");
+    DurationSearchResult result;
+    double duration = opts.initialDurationNs;
+    std::vector<std::vector<double>> seed;
+
+    for (int round = 0; round < opts.maxRounds; ++round) {
+        const int segments = std::max(
+            4, static_cast<int>(std::round(duration / opts.segmentNs)));
+        GrapeOptimizer grape(system, target, duration, segments,
+                             opts.grape);
+        const GrapeResult res = seed.empty()
+            ? grape.run()
+            : grape.runFrom(resample(seed, segments));
+        result.rounds.push_back({duration, res.fidelity, res.converged});
+        if (!res.converged)
+            break;
+        result.bestDurationNs = duration;
+        result.bestFidelity = res.fidelity;
+        result.bestControls = res.controls;
+        seed = res.controls;
+        duration *= opts.shrinkFactor;
+    }
+    return result;
+}
+
+} // namespace qompress

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimum-duration pulse search by iterative re-optimization with
+ * pulse re-seeding (paper section 3.3, technique from ref. [39]).
+ */
+
+#ifndef QOMPRESS_PULSE_DURATION_SEARCH_HH
+#define QOMPRESS_PULSE_DURATION_SEARCH_HH
+
+#include "pulse/grape.hh"
+
+namespace qompress {
+
+/** Search policy. */
+struct DurationSearchOptions
+{
+    /** Starting (generous) duration, ns. */
+    double initialDurationNs = 200.0;
+    /** Multiplicative shrink applied after each success. */
+    double shrinkFactor = 0.8;
+    /** Piecewise-constant segment length, ns. */
+    double segmentNs = 2.5;
+    /** Give up after this many shrink rounds. */
+    int maxRounds = 10;
+    GrapeOptions grape;
+};
+
+/** One attempted duration. */
+struct DurationRound
+{
+    double durationNs;
+    double fidelity;
+    bool converged;
+};
+
+/** Search outcome. */
+struct DurationSearchResult
+{
+    /** Shortest duration that met the fidelity target (0 if none). */
+    double bestDurationNs = 0.0;
+    double bestFidelity = 0.0;
+    std::vector<std::vector<double>> bestControls;
+    std::vector<DurationRound> rounds;
+};
+
+/**
+ * Shrink the gate duration until GRAPE can no longer reach the target
+ * fidelity, seeding each round with the previous round's controls
+ * linearly resampled onto the new segment grid.
+ */
+DurationSearchResult minimizeDuration(const TransmonSystem &system,
+                                      const CMatrix &target,
+                                      const DurationSearchOptions &opts);
+
+} // namespace qompress
+
+#endif // QOMPRESS_PULSE_DURATION_SEARCH_HH

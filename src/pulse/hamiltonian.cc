@@ -1,0 +1,127 @@
+#include "pulse/hamiltonian.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+/** Annihilation operator on @p n levels. */
+CMatrix
+lowering(int n)
+{
+    CMatrix a(n, n);
+    for (int k = 1; k < n; ++k)
+        a(k - 1, k) = std::sqrt(static_cast<double>(k));
+    return a;
+}
+
+} // namespace
+
+TransmonSystem::TransmonSystem(std::vector<int> logical_levels,
+                               int guard_levels, TransmonParams params)
+    : logical_(std::move(logical_levels)), guard_(guard_levels),
+      params_(params)
+{
+    QFATAL_IF(logical_.empty() || logical_.size() > 2,
+              "TransmonSystem supports 1 or 2 transmons");
+    for (int l : logical_)
+        QFATAL_IF(l < 2, "each transmon needs >= 2 logical levels");
+    QFATAL_IF(guard_ < 0, "guard levels must be >= 0");
+
+    const int nt = numTransmons();
+    std::vector<CMatrix> a(nt), ident(nt);
+    for (int k = 0; k < nt; ++k) {
+        a[k] = lowering(levels(k));
+        ident[k] = CMatrix::identity(levels(k));
+    }
+    auto embed = [&](const CMatrix &op, int k) {
+        if (nt == 1)
+            return op;
+        return k == 0 ? CMatrix::kron(op, ident[1])
+                      : CMatrix::kron(ident[0], op);
+    };
+
+    // Rotating frame of transmon 1: detunings 0 and w2 - w1.
+    const double detuning[2] = {
+        0.0, kTwoPi * (params_.freq2Ghz - params_.freq1Ghz)};
+    const double xi = kTwoPi * params_.anharmonicityGhz;
+
+    drift_ = CMatrix(dim(), dim());
+    for (int k = 0; k < nt; ++k) {
+        const CMatrix ak = a[k];
+        const CMatrix num = ak.dagger() * ak;
+        const CMatrix anh = ak.dagger() * ak.dagger() * ak * ak;
+        drift_ += embed(num * CMatrix::Scalar(detuning[k]) +
+                            anh * CMatrix::Scalar(xi / 2.0),
+                        k);
+    }
+    if (nt == 2) {
+        const double j = kTwoPi * params_.couplingGhz;
+        const CMatrix hop = CMatrix::kron(a[0].dagger(), a[1]) +
+                            CMatrix::kron(a[0], a[1].dagger());
+        drift_ += hop * CMatrix::Scalar(j);
+    }
+
+    for (int k = 0; k < nt; ++k) {
+        const CMatrix x = a[k] + a[k].dagger();
+        CMatrix y(levels(k), levels(k));
+        const CMatrix diff = a[k].dagger() - a[k];
+        for (int r = 0; r < levels(k); ++r)
+            for (int c = 0; c < levels(k); ++c)
+                y(r, c) = CMatrix::Scalar(0.0, 1.0) * diff(r, c);
+        controls_.push_back(embed(x, k));
+        controls_.push_back(embed(y, k));
+    }
+}
+
+int
+TransmonSystem::dim() const
+{
+    int d = 1;
+    for (int k = 0; k < numTransmons(); ++k)
+        d *= levels(k);
+    return d;
+}
+
+int
+TransmonSystem::logicalDim() const
+{
+    int d = 1;
+    for (int l : logical_)
+        d *= l;
+    return d;
+}
+
+double
+TransmonSystem::maxAmplitude() const
+{
+    return kTwoPi * params_.maxAmplitudeGhz;
+}
+
+bool
+TransmonSystem::isLogicalIndex(int idx) const
+{
+    if (numTransmons() == 1)
+        return idx < logical_[0];
+    const int l2 = levels(1);
+    const int i0 = idx / l2;
+    const int i1 = idx % l2;
+    return i0 < logical_[0] && i1 < logical_[1];
+}
+
+int
+TransmonSystem::logicalToFull(int logical_idx) const
+{
+    if (numTransmons() == 1)
+        return logical_idx;
+    const int i0 = logical_idx / logical_[1];
+    const int i1 = logical_idx % logical_[1];
+    return i0 * levels(1) + i1;
+}
+
+} // namespace qompress

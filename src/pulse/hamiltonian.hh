@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's device model (Eq. 3): one or two weakly-coupled
+ * anharmonic transmons in the rotating frame of the first transmon,
+ * with I/Q drive quadratures per transmon and guard levels above the
+ * logical subspace.
+ */
+
+#ifndef QOMPRESS_PULSE_HAMILTONIAN_HH
+#define QOMPRESS_PULSE_HAMILTONIAN_HH
+
+#include <vector>
+
+#include "pulse/matrix.hh"
+
+namespace qompress {
+
+/** Physical parameters (paper section 3.2, from Sheldon et al.). */
+struct TransmonParams
+{
+    /** 0-1 transition frequencies, GHz. */
+    double freq1Ghz = 4.914;
+    double freq2Ghz = 5.114;
+    /** Anharmonicity, GHz (same for both transmons). */
+    double anharmonicityGhz = -0.330;
+    /** Effective coupling, GHz. */
+    double couplingGhz = 0.0038;
+    /** Maximum drive amplitude, GHz (45 MHz). */
+    double maxAmplitudeGhz = 0.045;
+};
+
+/**
+ * A one- or two-transmon control system.
+ *
+ * Each transmon models `logical + guard` levels; the drift Hamiltonian
+ * is written in the rotating frame of transmon 1 so pulse segments can
+ * be nanoseconds long. Energies are angular frequencies in rad/ns.
+ */
+class TransmonSystem
+{
+  public:
+    /**
+     * @param logical_levels logical levels per transmon (2 for qubit
+     *        operands, 4 for ququart operands); one or two entries.
+     * @param guard_levels   extra guard levels per transmon.
+     */
+    TransmonSystem(std::vector<int> logical_levels, int guard_levels,
+                   TransmonParams params = {});
+
+    int numTransmons() const
+    {
+        return static_cast<int>(logical_.size());
+    }
+    /** Total simulated levels of transmon @p k. */
+    int levels(int k) const { return logical_[k] + guard_; }
+    /** Logical levels of transmon @p k. */
+    int logicalLevels(int k) const { return logical_[k]; }
+    /** Full Hilbert dimension. */
+    int dim() const;
+    /** Logical subspace dimension. */
+    int logicalDim() const;
+
+    /** Drift Hamiltonian (rad/ns), rotating frame of transmon 1. */
+    const CMatrix &drift() const { return drift_; }
+
+    /** Control operators, two per transmon: (a + a^dag) and
+     *  i(a^dag - a); amplitudes multiply these. */
+    const std::vector<CMatrix> &controls() const { return controls_; }
+
+    /** Max control amplitude in rad/ns (2 pi f_max). */
+    double maxAmplitude() const;
+
+    /** True iff full-space index @p idx lies in the logical subspace. */
+    bool isLogicalIndex(int idx) const;
+
+    /** Map a logical-subspace row/col to the full-space index. */
+    int logicalToFull(int logical_idx) const;
+
+    const TransmonParams &params() const { return params_; }
+
+  private:
+    std::vector<int> logical_;
+    int guard_;
+    TransmonParams params_;
+    CMatrix drift_;
+    std::vector<CMatrix> controls_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_PULSE_HAMILTONIAN_HH

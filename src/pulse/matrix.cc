@@ -1,0 +1,180 @@
+#include "pulse/matrix.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+CMatrix::CMatrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, Scalar(0.0))
+{
+    QFATAL_IF(rows < 0 || cols < 0, "negative matrix shape");
+}
+
+CMatrix
+CMatrix::identity(int n)
+{
+    CMatrix m(n, n);
+    for (int i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+CMatrix
+CMatrix::operator+(const CMatrix &o) const
+{
+    QPANIC_IF(rows_ != o.rows_ || cols_ != o.cols_, "shape mismatch");
+    CMatrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += o.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator-(const CMatrix &o) const
+{
+    QPANIC_IF(rows_ != o.rows_ || cols_ != o.cols_, "shape mismatch");
+    CMatrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= o.data_[i];
+    return out;
+}
+
+CMatrix
+CMatrix::operator*(const CMatrix &o) const
+{
+    QPANIC_IF(cols_ != o.rows_, "matmul shape mismatch");
+    CMatrix out(rows_, o.cols_);
+    for (int i = 0; i < rows_; ++i) {
+        for (int k = 0; k < cols_; ++k) {
+            const Scalar a = (*this)(i, k);
+            if (a == Scalar(0.0))
+                continue;
+            for (int j = 0; j < o.cols_; ++j)
+                out(i, j) += a * o(k, j);
+        }
+    }
+    return out;
+}
+
+CMatrix
+CMatrix::operator*(Scalar s) const
+{
+    CMatrix out = *this;
+    for (auto &v : out.data_)
+        v *= s;
+    return out;
+}
+
+CMatrix &
+CMatrix::operator+=(const CMatrix &o)
+{
+    QPANIC_IF(rows_ != o.rows_ || cols_ != o.cols_, "shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+CMatrix &
+CMatrix::operator*=(Scalar s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+CMatrix
+CMatrix::dagger() const
+{
+    CMatrix out(cols_, rows_);
+    for (int i = 0; i < rows_; ++i)
+        for (int j = 0; j < cols_; ++j)
+            out(j, i) = std::conj((*this)(i, j));
+    return out;
+}
+
+CMatrix::Scalar
+CMatrix::trace() const
+{
+    QPANIC_IF(rows_ != cols_, "trace of non-square matrix");
+    Scalar t = 0.0;
+    for (int i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+CMatrix::norm() const
+{
+    double n2 = 0.0;
+    for (const auto &v : data_)
+        n2 += std::norm(v);
+    return std::sqrt(n2);
+}
+
+double
+CMatrix::normInf() const
+{
+    double best = 0.0;
+    for (int i = 0; i < rows_; ++i) {
+        double row = 0.0;
+        for (int j = 0; j < cols_; ++j)
+            row += std::abs((*this)(i, j));
+        best = std::max(best, row);
+    }
+    return best;
+}
+
+CMatrix
+CMatrix::kron(const CMatrix &a, const CMatrix &b)
+{
+    CMatrix out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            for (int k = 0; k < b.rows(); ++k)
+                for (int l = 0; l < b.cols(); ++l)
+                    out(i * b.rows() + k, j * b.cols() + l) =
+                        a(i, j) * b(k, l);
+    return out;
+}
+
+bool
+CMatrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    const CMatrix prod = dagger() * (*this);
+    const CMatrix diff = prod - identity(rows_);
+    return diff.norm() <= tol * rows_;
+}
+
+CMatrix
+expm(const CMatrix &a)
+{
+    QPANIC_IF(a.rows() != a.cols(), "expm of non-square matrix");
+    // Scale so the Taylor series converges fast, then square back.
+    const double norm = a.normInf();
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.5) {
+        scale *= 0.5;
+        ++squarings;
+    }
+    const CMatrix as = a * CMatrix::Scalar(scale);
+    CMatrix term = CMatrix::identity(a.rows());
+    CMatrix sum = term;
+    for (int k = 1; k <= 18; ++k) {
+        term = term * as;
+        term *= CMatrix::Scalar(1.0 / k);
+        sum += term;
+        if (term.norm() < 1e-18)
+            break;
+    }
+    for (int s = 0; s < squarings; ++s)
+        sum = sum * sum;
+    return sum;
+}
+
+} // namespace qompress

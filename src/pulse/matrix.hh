@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dense complex matrices sized for optimal-control workloads (tens of
+ * rows), with the matrix exponential needed by Schrodinger propagation.
+ */
+
+#ifndef QOMPRESS_PULSE_MATRIX_HH
+#define QOMPRESS_PULSE_MATRIX_HH
+
+#include <complex>
+#include <vector>
+
+namespace qompress {
+
+/** Dense row-major complex matrix. */
+class CMatrix
+{
+  public:
+    using Scalar = std::complex<double>;
+
+    CMatrix() = default;
+
+    /** Zero matrix of shape rows x cols. */
+    CMatrix(int rows, int cols);
+
+    static CMatrix identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    Scalar &operator()(int r, int c) { return data_[idx(r, c)]; }
+    const Scalar &operator()(int r, int c) const
+    {
+        return data_[idx(r, c)];
+    }
+
+    CMatrix operator+(const CMatrix &o) const;
+    CMatrix operator-(const CMatrix &o) const;
+    CMatrix operator*(const CMatrix &o) const;
+    CMatrix operator*(Scalar s) const;
+    CMatrix &operator+=(const CMatrix &o);
+    CMatrix &operator*=(Scalar s);
+
+    /** Conjugate transpose. */
+    CMatrix dagger() const;
+
+    Scalar trace() const;
+
+    /** Frobenius norm. */
+    double norm() const;
+
+    /** Max absolute row sum (induced infinity norm). */
+    double normInf() const;
+
+    /** Kronecker product. */
+    static CMatrix kron(const CMatrix &a, const CMatrix &b);
+
+    /** True iff this is unitary within @p tol. */
+    bool isUnitary(double tol = 1e-8) const;
+
+  private:
+    std::size_t idx(int r, int c) const
+    {
+        return static_cast<std::size_t>(r) * cols_ + c;
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<Scalar> data_;
+};
+
+/**
+ * Matrix exponential by scaling-and-squaring with a Taylor series
+ * (ample accuracy for the small anti-Hermitian arguments produced by
+ * Schrodinger propagation).
+ */
+CMatrix expm(const CMatrix &a);
+
+} // namespace qompress
+
+#endif // QOMPRESS_PULSE_MATRIX_HH

@@ -1,0 +1,282 @@
+#include "pulse/targets.hh"
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+int
+extractBit(int digit, const OperandSpec &op)
+{
+    if (op.encoded)
+        return op.pos == 0 ? (digit >> 1) : (digit & 1);
+    return digit;
+}
+
+int
+replaceBit(int digit, const OperandSpec &op, int bit)
+{
+    if (op.encoded) {
+        if (op.pos == 0)
+            return (bit << 1) | (digit & 1);
+        return (digit & 2) | bit;
+    }
+    return bit;
+}
+
+int
+digitOf(int idx, int transmon, const std::vector<int> &dims)
+{
+    if (dims.size() == 1)
+        return idx;
+    return transmon == 0 ? idx / dims[1] : idx % dims[1];
+}
+
+int
+withDigit(int idx, int transmon, const std::vector<int> &dims, int digit)
+{
+    if (dims.size() == 1)
+        return digit;
+    const int d0 = idx / dims[1];
+    const int d1 = idx % dims[1];
+    return transmon == 0 ? digit * dims[1] + d1 : d0 * dims[1] + digit;
+}
+
+CMatrix
+permutationMatrix(const std::vector<int> &image)
+{
+    const int n = static_cast<int>(image.size());
+    CMatrix m(n, n);
+    for (int col = 0; col < n; ++col)
+        m(image[col], col) = 1.0;
+    return m;
+}
+
+int
+totalDim(const std::vector<int> &dims)
+{
+    int d = 1;
+    for (int x : dims)
+        d *= x;
+    return d;
+}
+
+} // namespace
+
+CMatrix
+cxTarget(const std::vector<int> &logical_dims, OperandSpec ctl,
+         OperandSpec tgt)
+{
+    const int dim = totalDim(logical_dims);
+    std::vector<int> image(dim);
+    for (int idx = 0; idx < dim; ++idx) {
+        const int cd = digitOf(idx, ctl.transmon, logical_dims);
+        const int c = extractBit(cd, ctl);
+        int out = idx;
+        if (c == 1) {
+            const int td = digitOf(idx, tgt.transmon, logical_dims);
+            const int t = extractBit(td, tgt);
+            out = withDigit(idx, tgt.transmon, logical_dims,
+                            replaceBit(td, tgt, t ^ 1));
+        }
+        image[idx] = out;
+    }
+    return permutationMatrix(image);
+}
+
+CMatrix
+swapTarget(const std::vector<int> &logical_dims, OperandSpec a,
+           OperandSpec b)
+{
+    const int dim = totalDim(logical_dims);
+    std::vector<int> image(dim);
+    for (int idx = 0; idx < dim; ++idx) {
+        const int ad = digitOf(idx, a.transmon, logical_dims);
+        const int bd = digitOf(idx, b.transmon, logical_dims);
+        const int x = extractBit(ad, a);
+        const int y = extractBit(bd, b);
+        int out;
+        if (a.transmon == b.transmon) {
+            int nd = replaceBit(ad, a, y);
+            nd = replaceBit(nd, b, x);
+            out = withDigit(idx, a.transmon, logical_dims, nd);
+        } else {
+            out = withDigit(idx, a.transmon, logical_dims,
+                            replaceBit(ad, a, y));
+            out = withDigit(out, b.transmon, logical_dims,
+                            replaceBit(bd, b, x));
+        }
+        image[idx] = out;
+    }
+    return permutationMatrix(image);
+}
+
+CMatrix
+xTarget(const std::vector<int> &logical_dims, OperandSpec op)
+{
+    const int dim = totalDim(logical_dims);
+    std::vector<int> image(dim);
+    for (int idx = 0; idx < dim; ++idx) {
+        const int d = digitOf(idx, op.transmon, logical_dims);
+        const int bit = extractBit(d, op);
+        image[idx] = withDigit(idx, op.transmon, logical_dims,
+                               replaceBit(d, op, bit ^ 1));
+    }
+    return permutationMatrix(image);
+}
+
+CMatrix
+swap4Target()
+{
+    std::vector<int> image(16);
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b)
+            image[a * 4 + b] = b * 4 + a;
+    return permutationMatrix(image);
+}
+
+CMatrix
+encTarget()
+{
+    // (ququart, qubit): logical inputs a*2+b for a, b in {0,1} map to
+    // (2a+b)*2 + 0; the remainder is completed in stable order.
+    std::vector<int> image(8, -1);
+    std::vector<bool> used(8, false);
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            image[a * 2 + b] = (2 * a + b) * 2;
+            used[(2 * a + b) * 2] = true;
+        }
+    }
+    int next = 0;
+    for (int col = 0; col < 8; ++col) {
+        if (image[col] != -1)
+            continue;
+        while (used[next])
+            ++next;
+        image[col] = next;
+        used[next] = true;
+    }
+    return permutationMatrix(image);
+}
+
+CMatrix
+namedTarget(const std::string &name, std::vector<int> &logical_dims)
+{
+    const OperandSpec q4p0{0, 0, true};   // ququart 0, position 0
+    const OperandSpec q4p1{0, 1, true};
+    const OperandSpec q4bp0{1, 0, true};  // ququart 1 (second transmon)
+    const OperandSpec q4bp1{1, 1, true};
+    const OperandSpec bare0{0, 0, false};
+    const OperandSpec bare1{1, 0, false};
+
+    if (name == "X") {
+        logical_dims = {2};
+        return xTarget(logical_dims, bare0);
+    }
+    if (name == "X0") {
+        logical_dims = {4};
+        return xTarget(logical_dims, q4p0);
+    }
+    if (name == "X1") {
+        logical_dims = {4};
+        return xTarget(logical_dims, q4p1);
+    }
+    if (name == "X0,1") {
+        logical_dims = {4};
+        return xTarget(logical_dims, q4p0) * xTarget(logical_dims, q4p1);
+    }
+    if (name == "CX0") {
+        logical_dims = {4};
+        return cxTarget(logical_dims, q4p0, q4p1);
+    }
+    if (name == "CX1") {
+        logical_dims = {4};
+        return cxTarget(logical_dims, q4p1, q4p0);
+    }
+    if (name == "SWAPin") {
+        logical_dims = {4};
+        return swapTarget(logical_dims, q4p0, q4p1);
+    }
+    if (name == "CX2") {
+        logical_dims = {2, 2};
+        return cxTarget(logical_dims, bare0, bare1);
+    }
+    if (name == "SWAP2") {
+        logical_dims = {2, 2};
+        return swapTarget(logical_dims, bare0, bare1);
+    }
+    if (name == "CX0q") {
+        logical_dims = {4, 2};
+        return cxTarget(logical_dims, q4p0, bare1);
+    }
+    if (name == "CX1q") {
+        logical_dims = {4, 2};
+        return cxTarget(logical_dims, q4p1, bare1);
+    }
+    if (name == "CXq0") {
+        logical_dims = {4, 2};
+        return cxTarget(logical_dims, bare1, q4p0);
+    }
+    if (name == "CXq1") {
+        logical_dims = {4, 2};
+        return cxTarget(logical_dims, bare1, q4p1);
+    }
+    if (name == "SWAPq0") {
+        logical_dims = {4, 2};
+        return swapTarget(logical_dims, q4p0, bare1);
+    }
+    if (name == "SWAPq1") {
+        logical_dims = {4, 2};
+        return swapTarget(logical_dims, q4p1, bare1);
+    }
+    if (name == "CX00") {
+        logical_dims = {4, 4};
+        return cxTarget(logical_dims, q4p0, q4bp0);
+    }
+    if (name == "CX01") {
+        logical_dims = {4, 4};
+        return cxTarget(logical_dims, q4p0, q4bp1);
+    }
+    if (name == "CX10") {
+        logical_dims = {4, 4};
+        return cxTarget(logical_dims, q4p1, q4bp0);
+    }
+    if (name == "CX11") {
+        logical_dims = {4, 4};
+        return cxTarget(logical_dims, q4p1, q4bp1);
+    }
+    if (name == "SWAP00") {
+        logical_dims = {4, 4};
+        return swapTarget(logical_dims, q4p0, q4bp0);
+    }
+    if (name == "SWAP01") {
+        logical_dims = {4, 4};
+        return swapTarget(logical_dims, q4p0, q4bp1);
+    }
+    if (name == "SWAP11") {
+        logical_dims = {4, 4};
+        return swapTarget(logical_dims, q4p1, q4bp1);
+    }
+    if (name == "SWAP4") {
+        logical_dims = {4, 4};
+        return swap4Target();
+    }
+    if (name == "ENC") {
+        logical_dims = {4, 2};
+        return encTarget();
+    }
+    QFATAL("unknown pulse target '", name, "'");
+}
+
+std::vector<std::string>
+namedTargetList()
+{
+    return {"X",     "X0",    "X1",    "X0,1",  "CX0",    "CX1",
+            "SWAPin", "CX2",  "SWAP2", "CX0q",  "CX1q",   "CXq0",
+            "CXq1",  "SWAPq0", "SWAPq1", "CX00", "CX01",  "CX10",
+            "CX11",  "SWAP00", "SWAP01", "SWAP11", "SWAP4", "ENC"};
+}
+
+} // namespace qompress

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Target logical unitaries for the pulse optimizer, covering the
+ * mixed-radix gate set of paper Table 1 under the ququart encoding
+ * (digit d encodes the qubit pair (d >> 1, d & 1)).
+ */
+
+#ifndef QOMPRESS_PULSE_TARGETS_HH
+#define QOMPRESS_PULSE_TARGETS_HH
+
+#include <string>
+#include <vector>
+
+#include "pulse/matrix.hh"
+
+namespace qompress {
+
+/**
+ * Where a logical qubit operand lives inside a (possibly mixed-radix)
+ * transmon pair.
+ */
+struct OperandSpec
+{
+    int transmon;  ///< 0 or 1
+    int pos;       ///< encode position 0/1 inside a ququart; ignored
+                   ///< for bare transmons
+    bool encoded;  ///< transmon holds two qubits
+};
+
+/** CX between two logical operands over the given logical dims. */
+CMatrix cxTarget(const std::vector<int> &logical_dims, OperandSpec ctl,
+                 OperandSpec tgt);
+
+/** SWAP between two logical operands. */
+CMatrix swapTarget(const std::vector<int> &logical_dims, OperandSpec a,
+                   OperandSpec b);
+
+/** Single-qubit X embedded at an operand. */
+CMatrix xTarget(const std::vector<int> &logical_dims, OperandSpec op);
+
+/** Full-ququart SWAP4 (logical dims must be {4, 4}). */
+CMatrix swap4Target();
+
+/** ENC on (ququart, qubit): |q0>|q1> -> |2 q0 + q1>|0>,
+ *  completed arbitrarily outside the input subspace. */
+CMatrix encTarget();
+
+/**
+ * Named Table-1 target on its natural system, e.g. "X", "X0", "CX2",
+ * "CX0q", "SWAP00"... Returns the logical unitary and fills
+ * @p logical_dims with the per-transmon logical level counts.
+ */
+CMatrix namedTarget(const std::string &name,
+                    std::vector<int> &logical_dims);
+
+/** All Table-1 gate names namedTarget understands. */
+std::vector<std::string> namedTargetList();
+
+} // namespace qompress
+
+#endif // QOMPRESS_PULSE_TARGETS_HH

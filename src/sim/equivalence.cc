@@ -1,0 +1,214 @@
+#include "sim/equivalence.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "compiler/router.hh"
+#include "sim/gate_unitaries.hh"
+
+namespace qompress {
+
+namespace {
+
+/** Units the simulation must model: initially occupied or gate-touched. */
+std::vector<UnitId>
+activeUnits(const CompiledCircuit &compiled)
+{
+    std::vector<bool> active(compiled.initialLayout().numUnits(), false);
+    const Layout &init = compiled.initialLayout();
+    for (UnitId u = 0; u < init.numUnits(); ++u) {
+        if (init.unitOccupancy(u) > 0)
+            active[u] = true;
+    }
+    for (const auto &g : compiled.gates())
+        for (UnitId u : g.units())
+            active[u] = true;
+    std::vector<UnitId> out;
+    for (UnitId u = 0; u < init.numUnits(); ++u) {
+        if (active[u])
+            out.push_back(u);
+    }
+    return out;
+}
+
+/** Per-active-unit simulated dimension: 4 wherever ququart states can
+ *  appear (determined by a layout replay). */
+std::map<UnitId, int>
+unitDims(const CompiledCircuit &compiled,
+         const std::vector<UnitId> &active)
+{
+    std::map<UnitId, int> dims;
+    for (UnitId u : active)
+        dims[u] = 2;
+    Layout layout = compiled.initialLayout();
+    for (UnitId u : active) {
+        if (layout.unitEncoded(u))
+            dims[u] = 4;
+    }
+    for (const auto &g : compiled.gates()) {
+        for (UnitId u : g.units()) {
+            if (layout.unitEncoded(u))
+                dims[u] = 4;
+        }
+        if (g.cls == PhysGateClass::SwapFull) {
+            // Whole-ququart exchanges carry 4-level states both ways.
+            for (UnitId u : g.units())
+                dims[u] = 4;
+        }
+        if (g.cls == PhysGateClass::Encode)
+            dims[slotUnit(g.slots[0])] = 4;
+        // Advance occupancy.
+        CompiledCircuit step(layout, "dims");
+        step.add(g);
+        layout = replayFinalLayout(step);
+    }
+    return dims;
+}
+
+} // namespace
+
+EquivalenceReport
+checkEquivalence(const Circuit &logical, const CompiledCircuit &compiled,
+                 int trials, std::uint64_t seed, double tol)
+{
+    EquivalenceReport report;
+    const int n = logical.numQubits();
+    const auto active = activeUnits(compiled);
+    const auto dims_by_unit = unitDims(compiled, active);
+
+    // Simulator index per active unit.
+    std::map<UnitId, int> sim_index;
+    std::vector<int> phys_dims;
+    for (UnitId u : active) {
+        sim_index[u] = static_cast<int>(phys_dims.size());
+        phys_dims.push_back(dims_by_unit.at(u));
+    }
+
+    // Guard against oversized simulations.
+    std::size_t total = 1;
+    for (int d : phys_dims) {
+        total *= static_cast<std::size_t>(d);
+        if (total > (1ULL << 24)) {
+            report.message = "physical state too large to simulate";
+            return report;
+        }
+    }
+
+    Rng rng(seed);
+    for (int trial = 0; trial <= trials; ++trial) {
+        // Trial 0: |0...0>; afterwards random product states.
+        std::vector<std::vector<Cplx>> qubit_state(n);
+        for (int q = 0; q < n; ++q) {
+            if (trial == 0) {
+                qubit_state[q] = {1.0, 0.0};
+            } else {
+                const double theta = rng.nextDouble(0.0, M_PI);
+                const double phi = rng.nextDouble(0.0, 2.0 * M_PI);
+                qubit_state[q] = {
+                    std::cos(theta / 2),
+                    std::exp(Cplx(0, 1) * phi) * std::sin(theta / 2)};
+            }
+        }
+
+        // Reference: simulate the logical circuit directly.
+        MixedRadixState ref = MixedRadixState::product(qubit_state);
+        for (const auto &g : logical.gates()) {
+            std::vector<int> targets(g.qubits.begin(), g.qubits.end());
+            ref.applyUnitary(targets, logicalGateUnitary(g));
+        }
+
+        // Physical initial state from the initial layout.
+        const Layout &init = compiled.initialLayout();
+        std::vector<std::vector<Cplx>> unit_state(phys_dims.size());
+        for (UnitId u : active) {
+            const int d = dims_by_unit.at(u);
+            std::vector<Cplx> s(static_cast<std::size_t>(d), 0.0);
+            const QubitId q0 = init.qubitAt(makeSlot(u, 0));
+            const QubitId q1 = init.qubitAt(makeSlot(u, 1));
+            if (q0 != kInvalid && q1 != kInvalid) {
+                for (int a = 0; a < 2; ++a)
+                    for (int b = 0; b < 2; ++b)
+                        s[static_cast<std::size_t>(2 * a + b)] =
+                            qubit_state[q0][a] * qubit_state[q1][b];
+            } else if (q0 != kInvalid) {
+                s[0] = qubit_state[q0][0];
+                s[1] = qubit_state[q0][1];
+            } else if (q1 != kInvalid) {
+                report.message = "initial layout uses position 1 of a "
+                                 "non-encoded unit";
+                return report;
+            } else {
+                s[0] = 1.0;
+            }
+            unit_state[sim_index.at(u)] = std::move(s);
+        }
+        MixedRadixState phys = MixedRadixState::product(unit_state);
+
+        // Replay the compiled gates, tracking encoding via the layout.
+        Layout layout = init;
+        for (const auto &g : compiled.gates()) {
+            const auto units = g.units();
+            std::vector<int> targets;
+            std::vector<int> tdims;
+            std::vector<bool> tenc;
+            for (UnitId u : units) {
+                targets.push_back(sim_index.at(u));
+                tdims.push_back(dims_by_unit.at(u));
+                tenc.push_back(layout.unitEncoded(u));
+            }
+            phys.applyUnitary(targets, physGateUnitary(g, tdims, tenc));
+            CompiledCircuit step(layout, "replay");
+            step.add(g);
+            layout = replayFinalLayout(step);
+        }
+
+        // Decode the final physical state against the final layout.
+        const Layout &fin = compiled.finalLayout();
+        for (std::size_t idx = 0; idx < phys.size(); ++idx) {
+            std::vector<int> bits(n, 0);
+            bool in_subspace = true;
+            for (UnitId u : active) {
+                const int d = phys.digit(idx, sim_index.at(u));
+                const QubitId q0 = fin.qubitAt(makeSlot(u, 0));
+                const QubitId q1 = fin.qubitAt(makeSlot(u, 1));
+                if (q0 != kInvalid && q1 != kInvalid) {
+                    bits[q0] = d >> 1;
+                    bits[q1] = d & 1;
+                } else if (q0 != kInvalid) {
+                    if (d >= 2) {
+                        in_subspace = false;
+                        break;
+                    }
+                    bits[q0] = d;
+                } else {
+                    if (d != 0) {
+                        in_subspace = false;
+                        break;
+                    }
+                }
+            }
+            const Cplx actual = phys.amp(idx);
+            const Cplx expect = in_subspace
+                ? ref.amp(ref.indexOf(bits)) : Cplx(0.0);
+            // Multiple physical indices can decode to one logical
+            // index only when empty/bare units hold non-logical
+            // levels, which in_subspace already excludes.
+            const double err = std::abs(actual - expect);
+            report.maxError = std::max(report.maxError, err);
+            if (err > tol) {
+                report.message = format(
+                    "trial %d: amplitude mismatch %.3e at physical "
+                    "index %zu", trial, err, idx);
+                return report;
+            }
+        }
+    }
+    report.ok = true;
+    return report;
+}
+
+} // namespace qompress

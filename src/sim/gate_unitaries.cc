@@ -1,0 +1,326 @@
+#include "sim/gate_unitaries.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+SmallMatrix
+identity(std::size_t n)
+{
+    SmallMatrix m(n, std::vector<Cplx>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        m[i][i] = 1.0;
+    return m;
+}
+
+SmallMatrix
+kron(const SmallMatrix &a, const SmallMatrix &b)
+{
+    const std::size_t na = a.size(), nb = b.size();
+    SmallMatrix m(na * nb, std::vector<Cplx>(na * nb, 0.0));
+    for (std::size_t i = 0; i < na; ++i)
+        for (std::size_t j = 0; j < na; ++j)
+            for (std::size_t k = 0; k < nb; ++k)
+                for (std::size_t l = 0; l < nb; ++l)
+                    m[i * nb + k][j * nb + l] = a[i][j] * b[k][l];
+    return m;
+}
+
+/**
+ * Embed a 1-qubit unitary on one unit: tensor position for encoded
+ * units, block-diagonal (levels 0/1) for bare units of dimension 4.
+ */
+SmallMatrix
+embedSq(int dim, bool enc, int pos, const SmallMatrix &u)
+{
+    if (enc) {
+        QPANIC_IF(dim != 4, "encoded unit must have dim 4");
+        return pos == 0 ? kron(u, identity(2)) : kron(identity(2), u);
+    }
+    if (dim == 2)
+        return u;
+    SmallMatrix m = identity(dim);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            m[i][j] = u[i][j];
+    return m;
+}
+
+/** Logical bit of unit digit @p d; -1 when outside the subspace. */
+int
+extractBit(int d, bool enc, int pos)
+{
+    if (enc)
+        return pos == 0 ? (d >> 1) : (d & 1);
+    return d < 2 ? d : -1;
+}
+
+/** Digit with the logical bit replaced. @pre extractBit(d) != -1. */
+int
+replaceBit(int d, bool enc, int pos, int bit)
+{
+    if (enc) {
+        if (pos == 0)
+            return (bit << 1) | (d & 1);
+        return (d & 2) | bit;
+    }
+    return bit;
+}
+
+/** Permutation matrix from an index map. */
+SmallMatrix
+permutation(const std::vector<std::size_t> &image)
+{
+    const std::size_t n = image.size();
+    SmallMatrix m(n, std::vector<Cplx>(n, 0.0));
+    std::vector<bool> hit(n, false);
+    for (std::size_t col = 0; col < n; ++col) {
+        QPANIC_IF(hit[image[col]], "permutation image collision");
+        hit[image[col]] = true;
+        m[image[col]][col] = 1.0;
+    }
+    return m;
+}
+
+/** Cross-unit ENC permutation over dims (dA, dB): the logical pair
+ *  (a, b) with a, b in {0,1} becomes (2a + b, 0); everything else is
+ *  completed to the remaining outputs in stable order. */
+std::vector<std::size_t>
+encodeImage(int da, int db)
+{
+    const std::size_t k = static_cast<std::size_t>(da * db);
+    std::vector<std::size_t> image(k, k);
+    std::vector<bool> used(k, false);
+    for (int a = 0; a < 2; ++a) {
+        for (int b = 0; b < 2; ++b) {
+            const std::size_t col =
+                static_cast<std::size_t>(a * db + b);
+            const std::size_t row =
+                static_cast<std::size_t>((2 * a + b) * db + 0);
+            image[col] = row;
+            used[row] = true;
+        }
+    }
+    std::size_t next = 0;
+    for (std::size_t col = 0; col < k; ++col) {
+        if (image[col] != k)
+            continue;
+        while (used[next])
+            ++next;
+        image[col] = next;
+        used[next] = true;
+    }
+    return image;
+}
+
+} // namespace
+
+SmallMatrix
+gate1q(GateType t, double param)
+{
+    const Cplx i(0.0, 1.0);
+    const double s = 1.0 / std::sqrt(2.0);
+    switch (t) {
+      case GateType::X:
+        return {{0, 1}, {1, 0}};
+      case GateType::Y:
+        return {{0, -i}, {i, 0}};
+      case GateType::Z:
+        return {{1, 0}, {0, -1}};
+      case GateType::H:
+        return {{s, s}, {s, -s}};
+      case GateType::S:
+        return {{1, 0}, {0, i}};
+      case GateType::Sdg:
+        return {{1, 0}, {0, -i}};
+      case GateType::T:
+        return {{1, 0}, {0, std::exp(i * (M_PI / 4))}};
+      case GateType::Tdg:
+        return {{1, 0}, {0, std::exp(-i * (M_PI / 4))}};
+      case GateType::RX: {
+        const double h = param / 2;
+        return {{std::cos(h), -i * std::sin(h)},
+                {-i * std::sin(h), std::cos(h)}};
+      }
+      case GateType::RY: {
+        const double h = param / 2;
+        return {{Cplx(std::cos(h)), Cplx(-std::sin(h))},
+                {Cplx(std::sin(h)), Cplx(std::cos(h))}};
+      }
+      case GateType::RZ: {
+        const double h = param / 2;
+        return {{std::exp(-i * h), 0}, {0, std::exp(i * h)}};
+      }
+      default:
+        QPANIC("gate1q: not a 1-qubit gate: ", gateName(t));
+    }
+}
+
+SmallMatrix
+logicalGateUnitary(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::CX: {
+        SmallMatrix m = identity(4);
+        std::swap(m[2], m[3]);
+        return m;
+      }
+      case GateType::CZ: {
+        SmallMatrix m = identity(4);
+        m[3][3] = -1.0;
+        return m;
+      }
+      case GateType::Swap: {
+        SmallMatrix m = identity(4);
+        std::swap(m[1], m[2]);
+        return m;
+      }
+      case GateType::CCX: {
+        SmallMatrix m = identity(8);
+        std::swap(m[6], m[7]);
+        return m;
+      }
+      default:
+        return gate1q(g.type, g.param);
+    }
+}
+
+SmallMatrix
+physGateUnitary(const PhysGate &g, const std::vector<int> &dims,
+                const std::vector<bool> &enc)
+{
+    const auto units = g.units();
+    QPANIC_IF(dims.size() != units.size() || enc.size() != units.size(),
+              "physGateUnitary: dims/enc mismatch");
+
+    switch (g.cls) {
+      case PhysGateClass::SqBare:
+      case PhysGateClass::SqEnc0:
+      case PhysGateClass::SqEnc1:
+        return embedSq(dims[0], enc[0], slotPos(g.slots[0]),
+                       gate1q(g.logical, g.param));
+
+      case PhysGateClass::SqEncBoth:
+        QPANIC_IF(dims[0] != 4, "fused 1q pair needs dim 4");
+        return kron(gate1q(g.logical, g.param),
+                    gate1q(g.logical2, g.param2));
+
+      case PhysGateClass::CxInternal0:
+      case PhysGateClass::CxInternal1: {
+        // Control at slots[0]'s position, target at slots[1]'s.
+        const int cpos = slotPos(g.slots[0]);
+        const int tpos = slotPos(g.slots[1]);
+        std::vector<std::size_t> image(4);
+        for (int d = 0; d < 4; ++d) {
+            const int c = extractBit(d, true, cpos);
+            int nd = d;
+            if (c == 1) {
+                const int t = extractBit(d, true, tpos);
+                nd = replaceBit(d, true, tpos, t ^ 1);
+            }
+            image[d] = static_cast<std::size_t>(nd);
+        }
+        return permutation(image);
+      }
+
+      case PhysGateClass::SwapInternal:
+        return permutation({0, 2, 1, 3});
+
+      case PhysGateClass::CxBareBare:
+      case PhysGateClass::CxEnc0Bare:
+      case PhysGateClass::CxEnc1Bare:
+      case PhysGateClass::CxBareEnc0:
+      case PhysGateClass::CxBareEnc1:
+      case PhysGateClass::CxEnc00:
+      case PhysGateClass::CxEnc01:
+      case PhysGateClass::CxEnc10:
+      case PhysGateClass::CxEnc11: {
+        const int da = dims[0], db = dims[1];
+        const int cpos = slotPos(g.slots[0]);
+        const int tpos = slotPos(g.slots[1]);
+        std::vector<std::size_t> image(
+            static_cast<std::size_t>(da * db));
+        for (int a = 0; a < da; ++a) {
+            for (int b = 0; b < db; ++b) {
+                const std::size_t col =
+                    static_cast<std::size_t>(a * db + b);
+                const int c = extractBit(a, enc[0], cpos);
+                const int t = extractBit(b, enc[1], tpos);
+                int nb = b;
+                if (c == 1 && t != -1)
+                    nb = replaceBit(b, enc[1], tpos, t ^ 1);
+                image[col] = static_cast<std::size_t>(a * db + nb);
+            }
+        }
+        return permutation(image);
+      }
+
+      case PhysGateClass::SwapBareBare:
+      case PhysGateClass::SwapBareEnc0:
+      case PhysGateClass::SwapBareEnc1:
+      case PhysGateClass::SwapEnc00:
+      case PhysGateClass::SwapEnc01:
+      case PhysGateClass::SwapEnc11: {
+        const int da = dims[0], db = dims[1];
+        const int apos = slotPos(g.slots[0]);
+        const int bpos = slotPos(g.slots[1]);
+        std::vector<std::size_t> image(
+            static_cast<std::size_t>(da * db));
+        for (int a = 0; a < da; ++a) {
+            for (int b = 0; b < db; ++b) {
+                const std::size_t col =
+                    static_cast<std::size_t>(a * db + b);
+                const int x = extractBit(a, enc[0], apos);
+                const int y = extractBit(b, enc[1], bpos);
+                std::size_t row = col;
+                if (x != -1 && y != -1) {
+                    const int na = replaceBit(a, enc[0], apos, y);
+                    const int nb = replaceBit(b, enc[1], bpos, x);
+                    row = static_cast<std::size_t>(na * db + nb);
+                }
+                image[col] = row;
+            }
+        }
+        return permutation(image);
+      }
+
+      case PhysGateClass::SwapFull: {
+        const int da = dims[0], db = dims[1];
+        QPANIC_IF(da != db, "SWAP4 needs equal dims");
+        std::vector<std::size_t> image(
+            static_cast<std::size_t>(da * db));
+        for (int a = 0; a < da; ++a)
+            for (int b = 0; b < db; ++b)
+                image[static_cast<std::size_t>(a * db + b)] =
+                    static_cast<std::size_t>(b * da + a);
+        return permutation(image);
+      }
+
+      case PhysGateClass::Encode: {
+        if (units.size() == 1)
+            return identity(static_cast<std::size_t>(dims[0]));
+        QPANIC_IF(dims[0] != 4, "ENC destination needs dim 4");
+        return permutation(encodeImage(dims[0], dims[1]));
+      }
+
+      case PhysGateClass::Decode: {
+        QPANIC_IF(units.size() != 2 || dims[0] != 4,
+                  "DEC needs two units, source dim 4");
+        // Inverse of the encode permutation.
+        const auto enc_image = encodeImage(dims[0], dims[1]);
+        std::vector<std::size_t> image(enc_image.size());
+        for (std::size_t col = 0; col < enc_image.size(); ++col)
+            image[enc_image[col]] = col;
+        return permutation(image);
+      }
+
+      default:
+        QPANIC("physGateUnitary: unhandled class");
+    }
+}
+
+} // namespace qompress

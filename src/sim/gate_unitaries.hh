@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Unitary matrices for logical gates and for every physical gate class
+ * in the Qompress gate set, under the paper's encoding (ququart digit
+ * d encodes the qubit pair (d >> 1, d & 1); bare qubits live in levels
+ * 0 and 1).
+ */
+
+#ifndef QOMPRESS_SIM_GATE_UNITARIES_HH
+#define QOMPRESS_SIM_GATE_UNITARIES_HH
+
+#include <vector>
+
+#include "compiler/compiled_circuit.hh"
+#include "ir/gate.hh"
+#include "sim/statevector.hh"
+
+namespace qompress {
+
+/** 2x2 unitary of a 1-qubit logical gate. */
+SmallMatrix gate1q(GateType t, double param = 0.0);
+
+/** Unitary of a logical gate over its operands' qubit spaces
+ *  (2^arity); supports every GateType including CCX and CZ. */
+SmallMatrix logicalGateUnitary(const Gate &g);
+
+/**
+ * Unitary of a physical gate over the product space of its units.
+ *
+ * @param dims simulated dimension (2 or 4) of each unit, in
+ *        PhysGate::units() order;
+ * @param enc  whether each unit holds two logical qubits *before* the
+ *        gate executes (from a layout replay).
+ *
+ * Levels outside the logical subspace (level >= 2 of a bare unit) act
+ * as identity, completing every operator to a true unitary. Initial
+ * same-unit Encode gates are identity (the encoding is reflected in
+ * state preparation).
+ */
+SmallMatrix physGateUnitary(const PhysGate &g, const std::vector<int> &dims,
+                            const std::vector<bool> &enc);
+
+} // namespace qompress
+
+#endif // QOMPRESS_SIM_GATE_UNITARIES_HH

@@ -1,0 +1,124 @@
+#include "sim/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace qompress {
+
+namespace {
+
+/** One decoherence hazard: @p count qubits exposed for @p dt at the
+ *  coherence time @p t1. */
+struct Hazard
+{
+    int count;
+    double survival; // per-qubit survival probability for this window
+};
+
+/**
+ * Per-unit occupancy timeline -> hazard windows. Kept deliberately
+ * separate from metrics.cc (different decomposition of the same
+ * physics) so the Monte Carlo cross-checks the analytic path.
+ */
+std::vector<Hazard>
+collectHazards(const CompiledCircuit &compiled, const GateLibrary &lib)
+{
+    struct Change
+    {
+        double time;
+        UnitId unit;
+        int occ;
+    };
+    const Layout &init = compiled.initialLayout();
+    const int num_units = init.numUnits();
+    std::vector<std::vector<Change>> per_unit(num_units);
+    for (UnitId u = 0; u < num_units; ++u)
+        per_unit[u].push_back({0.0, u, init.unitOccupancy(u)});
+    for (const auto &g : compiled.gates()) {
+        if (g.cls == PhysGateClass::Encode &&
+            !ExpandedGraph::sameUnit(g.slots[0], g.slots[1])) {
+            per_unit[slotUnit(g.slots[0])].push_back(
+                {g.start, slotUnit(g.slots[0]), 2});
+            per_unit[slotUnit(g.slots[1])].push_back(
+                {g.start, slotUnit(g.slots[1]), 0});
+        } else if (g.cls == PhysGateClass::Decode) {
+            per_unit[slotUnit(g.slots[0])].push_back(
+                {g.end(), slotUnit(g.slots[0]), 1});
+            per_unit[slotUnit(g.slots[1])].push_back(
+                {g.end(), slotUnit(g.slots[1]), 1});
+        }
+    }
+
+    const double total = compiled.totalDuration();
+    std::vector<Hazard> hazards;
+    for (UnitId u = 0; u < num_units; ++u) {
+        auto &changes = per_unit[u];
+        std::sort(changes.begin(), changes.end(),
+                  [](const Change &a, const Change &b) {
+                      return a.time < b.time;
+                  });
+        for (std::size_t i = 0; i < changes.size(); ++i) {
+            const double t0 = std::min(changes[i].time, total);
+            const double t1 = i + 1 < changes.size()
+                ? std::min(changes[i + 1].time, total) : total;
+            if (t1 <= t0 || changes[i].occ == 0)
+                continue;
+            const double coherence = changes[i].occ == 2
+                ? lib.t1Ququart() : lib.t1Qubit();
+            hazards.push_back(
+                {changes[i].occ, std::exp(-(t1 - t0) / coherence)});
+        }
+    }
+    return hazards;
+}
+
+} // namespace
+
+NoiseSimResult
+sampleEps(const CompiledCircuit &compiled, const GateLibrary &lib,
+          const NoiseSimOptions &opts)
+{
+    QFATAL_IF(opts.trials < 1, "need at least one trial");
+    // Gate fidelities must have been filled in by the scheduler.
+    for (const auto &g : compiled.gates()) {
+        QFATAL_IF(g.fidelity <= 0.0 || g.duration <= 0.0,
+                  "sampleEps requires a scheduled circuit");
+    }
+    const auto hazards = collectHazards(compiled, lib);
+
+    Rng rng(opts.seed);
+    int successes = 0;
+    for (int trial = 0; trial < opts.trials; ++trial) {
+        bool ok = true;
+        for (const auto &g : compiled.gates()) {
+            if (rng.nextDouble() >= g.fidelity) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            for (const auto &h : hazards) {
+                for (int k = 0; k < h.count && ok; ++k)
+                    ok = rng.nextDouble() < h.survival;
+                if (!ok)
+                    break;
+            }
+        }
+        successes += ok ? 1 : 0;
+    }
+
+    NoiseSimResult res;
+    res.trials = opts.trials;
+    res.empiricalEps =
+        static_cast<double>(successes) / opts.trials;
+    res.standardError = std::sqrt(
+        std::max(res.empiricalEps * (1.0 - res.empiricalEps),
+                 1.0 / opts.trials) /
+        opts.trials);
+    return res;
+}
+
+} // namespace qompress

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Monte-Carlo validation of the analytic EPS model (paper section
+ * 6.1.1): sample per-gate failures and per-qubit decoherence as
+ * independent stochastic events and estimate the circuit success
+ * probability empirically. Implemented independently of
+ * computeMetrics() so the two can cross-check each other, including
+ * the mid-circuit ENC/DEC occupancy changes of the FQ baseline.
+ */
+
+#ifndef QOMPRESS_SIM_NOISE_HH
+#define QOMPRESS_SIM_NOISE_HH
+
+#include <cstdint>
+
+#include "compiler/compiled_circuit.hh"
+
+namespace qompress {
+
+/** Sampling options. */
+struct NoiseSimOptions
+{
+    int trials = 20000;
+    std::uint64_t seed = 99;
+};
+
+/** Estimator output. */
+struct NoiseSimResult
+{
+    /** Fraction of trials in which no gate failed and no qubit
+     *  decohered. */
+    double empiricalEps = 0.0;
+    /** Binomial standard error of the estimate. */
+    double standardError = 0.0;
+    int trials = 0;
+};
+
+/**
+ * Estimate the total EPS of a *scheduled* compiled circuit by
+ * trajectory sampling. The expectation equals
+ * computeMetrics().totalEps; agreement within a few standard errors
+ * validates the duration/occupancy bookkeeping.
+ */
+NoiseSimResult sampleEps(const CompiledCircuit &compiled,
+                         const GateLibrary &lib,
+                         const NoiseSimOptions &opts = {});
+
+} // namespace qompress
+
+#endif // QOMPRESS_SIM_NOISE_HH

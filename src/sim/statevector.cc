@@ -1,0 +1,182 @@
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+bool
+isUnitary(const SmallMatrix &u, double tol)
+{
+    const std::size_t n = u.size();
+    for (const auto &row : u) {
+        if (row.size() != n)
+            return false;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            Cplx dot = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                dot += std::conj(u[k][i]) * u[k][j];
+            const Cplx expect = i == j ? 1.0 : 0.0;
+            if (std::abs(dot - expect) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+MixedRadixState::MixedRadixState(std::vector<int> dims)
+    : dims_(std::move(dims))
+{
+    QFATAL_IF(dims_.empty(), "state needs at least one unit");
+    std::size_t total = 1;
+    strides_.resize(dims_.size());
+    for (int u = static_cast<int>(dims_.size()) - 1; u >= 0; --u) {
+        QFATAL_IF(dims_[u] < 2, "unit dimension must be >= 2");
+        strides_[u] = total;
+        total *= static_cast<std::size_t>(dims_[u]);
+        QFATAL_IF(total > (1ULL << 26),
+                  "state too large to simulate (", total, " amplitudes)");
+    }
+    amps_.assign(total, Cplx(0.0));
+    amps_[0] = 1.0;
+}
+
+MixedRadixState
+MixedRadixState::product(const std::vector<std::vector<Cplx>> &unit_states)
+{
+    std::vector<int> dims;
+    dims.reserve(unit_states.size());
+    for (const auto &s : unit_states)
+        dims.push_back(static_cast<int>(s.size()));
+    MixedRadixState state(std::move(dims));
+    for (std::size_t idx = 0; idx < state.size(); ++idx) {
+        Cplx a = 1.0;
+        for (int u = 0; u < state.numUnits(); ++u)
+            a *= unit_states[u][state.digit(idx, u)];
+        state.amps_[idx] = a;
+    }
+    return state;
+}
+
+int
+MixedRadixState::digit(std::size_t idx, int unit) const
+{
+    return static_cast<int>(idx / strides_[unit]) % dims_[unit];
+}
+
+std::size_t
+MixedRadixState::indexOf(const std::vector<int> &digits) const
+{
+    QPANIC_IF(digits.size() != dims_.size(), "indexOf: digit count");
+    std::size_t idx = 0;
+    for (std::size_t u = 0; u < digits.size(); ++u) {
+        QPANIC_IF(digits[u] < 0 || digits[u] >= dims_[u],
+                  "indexOf: digit out of range");
+        idx += static_cast<std::size_t>(digits[u]) * strides_[u];
+    }
+    return idx;
+}
+
+double
+MixedRadixState::norm() const
+{
+    double n2 = 0.0;
+    for (const auto &a : amps_)
+        n2 += std::norm(a);
+    return std::sqrt(n2);
+}
+
+void
+MixedRadixState::applyUnitary(const std::vector<int> &units,
+                              const SmallMatrix &u)
+{
+    QPANIC_IF(units.empty(), "applyUnitary: no targets");
+    std::size_t k = 1;
+    std::vector<std::size_t> local_stride(units.size());
+    for (int t = static_cast<int>(units.size()) - 1; t >= 0; --t) {
+        const int unit = units[t];
+        QPANIC_IF(unit < 0 || unit >= numUnits(),
+                  "applyUnitary: bad unit ", unit);
+        local_stride[t] = k;
+        k *= static_cast<std::size_t>(dims_[unit]);
+    }
+    QPANIC_IF(u.size() != k, "applyUnitary: matrix dim ", u.size(),
+              " != target space ", k);
+
+    // Complement units enumerate the untouched subspace.
+    std::vector<int> rest;
+    for (int w = 0; w < numUnits(); ++w) {
+        bool used = false;
+        for (int unit : units)
+            used |= (unit == w);
+        if (!used)
+            rest.push_back(w);
+    }
+
+    std::vector<Cplx> in(k), out(k);
+    std::vector<int> rest_digit(rest.size(), 0);
+    while (true) {
+        std::size_t base = 0;
+        for (std::size_t r = 0; r < rest.size(); ++r)
+            base += static_cast<std::size_t>(rest_digit[r]) *
+                    strides_[rest[r]];
+
+        // Gather, multiply, scatter.
+        for (std::size_t li = 0; li < k; ++li) {
+            std::size_t idx = base;
+            std::size_t tmp = li;
+            for (std::size_t t = 0; t < units.size(); ++t) {
+                const std::size_t digit = tmp / local_stride[t];
+                tmp %= local_stride[t];
+                idx += digit * strides_[units[t]];
+            }
+            in[li] = amps_[idx];
+        }
+        for (std::size_t row = 0; row < k; ++row) {
+            Cplx acc = 0.0;
+            for (std::size_t col = 0; col < k; ++col) {
+                if (u[row][col] != Cplx(0.0))
+                    acc += u[row][col] * in[col];
+            }
+            out[row] = acc;
+        }
+        for (std::size_t li = 0; li < k; ++li) {
+            std::size_t idx = base;
+            std::size_t tmp = li;
+            for (std::size_t t = 0; t < units.size(); ++t) {
+                const std::size_t digit = tmp / local_stride[t];
+                tmp %= local_stride[t];
+                idx += digit * strides_[units[t]];
+            }
+            amps_[idx] = out[li];
+        }
+
+        // Advance the complement counter.
+        int r = static_cast<int>(rest.size()) - 1;
+        while (r >= 0) {
+            if (++rest_digit[r] < dims_[rest[r]])
+                break;
+            rest_digit[r] = 0;
+            --r;
+        }
+        if (r < 0)
+            break;
+        if (rest.empty())
+            break;
+    }
+}
+
+double
+MixedRadixState::overlap(const MixedRadixState &a, const MixedRadixState &b)
+{
+    QPANIC_IF(a.size() != b.size(), "overlap: shape mismatch");
+    Cplx dot = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        dot += std::conj(a.amps_[i]) * b.amps_[i];
+    return std::norm(dot);
+}
+
+} // namespace qompress

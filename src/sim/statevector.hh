@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A mixed-radix statevector simulator: each physical unit is a qudit
+ * of dimension 2 or 4, and arbitrary k-unit unitaries can be applied.
+ * Used to verify that compiled circuits implement their logical input.
+ */
+
+#ifndef QOMPRESS_SIM_STATEVECTOR_HH
+#define QOMPRESS_SIM_STATEVECTOR_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace qompress {
+
+using Cplx = std::complex<double>;
+
+/** Row-major dense complex matrix used for small gate unitaries. */
+using SmallMatrix = std::vector<std::vector<Cplx>>;
+
+/** True iff @p u is unitary within @p tol (used by tests). */
+bool isUnitary(const SmallMatrix &u, double tol = 1e-9);
+
+/**
+ * Statevector over an ordered list of qudits with per-qudit dimension.
+ *
+ * Unit 0 is the most significant digit of the basis index (matching
+ * the |q0 q1 ...> reading order used throughout).
+ */
+class MixedRadixState
+{
+  public:
+    /** |0...0> over the given dimensions. */
+    explicit MixedRadixState(std::vector<int> dims);
+
+    /** Product state: one normalized amplitude vector per unit. */
+    static MixedRadixState product(
+        const std::vector<std::vector<Cplx>> &unit_states);
+
+    int numUnits() const { return static_cast<int>(dims_.size()); }
+    int dim(int unit) const { return dims_[unit]; }
+    std::size_t size() const { return amps_.size(); }
+
+    const std::vector<Cplx> &amplitudes() const { return amps_; }
+    Cplx amp(std::size_t idx) const { return amps_[idx]; }
+
+    /** The basis digit of @p unit within global index @p idx. */
+    int digit(std::size_t idx, int unit) const;
+
+    /** Compose a global index from per-unit digits. */
+    std::size_t indexOf(const std::vector<int> &digits) const;
+
+    /** 2-norm of the state. */
+    double norm() const;
+
+    /**
+     * Apply @p u (dimension = product of the targets' dims, target 0
+     * most significant) to the listed units.
+     */
+    void applyUnitary(const std::vector<int> &units, const SmallMatrix &u);
+
+    /** Fidelity |<a|b>|^2 between two same-shape states. */
+    static double overlap(const MixedRadixState &a,
+                          const MixedRadixState &b);
+
+  private:
+    std::vector<int> dims_;
+    std::vector<std::size_t> strides_;
+    std::vector<Cplx> amps_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_SIM_STATEVECTOR_HH

@@ -1,0 +1,66 @@
+#include "strategies/awe.hh"
+
+#include "ir/interaction.hh"
+
+namespace qompress {
+
+std::vector<Compression>
+AweStrategy::choosePairs(const Circuit &native, const Topology &topo,
+                         const GateLibrary &lib,
+                         const CompilerConfig &cfg) const
+{
+    (void)topo;
+    (void)lib;
+    (void)cfg;
+    const InteractionModel im(native);
+    Graph work = im.graph();
+    const int n = native.numQubits();
+    std::vector<bool> paired(n, false);
+
+    std::vector<Compression> pairs;
+    while (true) {
+        const double total = work.totalWeight();
+        const int edges = work.numEdges();
+        if (edges == 0)
+            break;
+        const double current_avg = total / edges;
+
+        // Contracting (i, j) removes their direct edge (if any) and
+        // merges one edge per shared neighbor, so the new average can
+        // be computed without mutating the graph.
+        double best_avg = current_avg;
+        Compression best{kInvalid, kInvalid};
+        for (int i = 0; i < n; ++i) {
+            if (paired[i])
+                continue;
+            for (int j = i + 1; j < n; ++j) {
+                if (paired[j])
+                    continue;
+                const bool direct = work.hasEdge(i, j);
+                const double w_ij = direct ? work.edgeWeight(i, j) : 0.0;
+                int shared = 0;
+                for (const auto &e : work.neighbors(i)) {
+                    if (e.to != j && work.hasEdge(j, e.to))
+                        ++shared;
+                }
+                const int new_edges = edges - shared - (direct ? 1 : 0);
+                if (new_edges <= 0)
+                    continue;
+                const double new_avg = (total - w_ij) / new_edges;
+                if (new_avg > best_avg) {
+                    best_avg = new_avg;
+                    best = {i, j};
+                }
+            }
+        }
+        if (best.first == kInvalid)
+            break;
+        pairs.push_back(best);
+        paired[best.first] = true;
+        paired[best.second] = true;
+        work.contract(best.first, best.second);
+    }
+    return pairs;
+}
+
+} // namespace qompress

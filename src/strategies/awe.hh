@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Average-Weight-per-Edge compression (paper section 5.4): greedily
+ * merge the qubit pair that maximizes the contracted interaction
+ * graph's average edge weight.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_AWE_HH
+#define QOMPRESS_STRATEGIES_AWE_HH
+
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** See file comment. */
+class AweStrategy : public CompressionStrategy
+{
+  public:
+    std::string name() const override { return "awe"; }
+
+    std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib,
+                const CompilerConfig &cfg) const override;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_AWE_HH

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * EQM and QubitOnly live in strategy.hh; this header exists to give
+ * the pair a stable include point alongside the other strategies.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_EQM_HH
+#define QOMPRESS_STRATEGIES_EQM_HH
+
+#include "strategies/strategy.hh"
+
+#endif // QOMPRESS_STRATEGIES_EQM_HH

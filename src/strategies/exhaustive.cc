@@ -1,0 +1,116 @@
+#include "strategies/exhaustive.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hh"
+#include "ir/passes.hh"
+
+namespace qompress {
+
+std::vector<Compression>
+ExhaustiveStrategy::choosePairs(const Circuit &native,
+                                const Topology &topo,
+                                const GateLibrary &lib,
+                                const CompilerConfig &cfg) const
+{
+    return choosePairsWithTrace(native, topo, lib, cfg, nullptr);
+}
+
+std::vector<Compression>
+ExhaustiveStrategy::choosePairsWithTrace(
+    const Circuit &native, const Topology &topo, const GateLibrary &lib,
+    const CompilerConfig &cfg, std::vector<ExhaustiveStep> *trace) const
+{
+    CompilerConfig inner = cfg;
+    inner.validate = false; // the final compile still validates
+
+    const int n = native.numQubits();
+    std::vector<Compression> pairs;
+    std::vector<bool> paired(n, false);
+
+    auto value_of = [this](const CompileResult &res) {
+        return metric_ == ExhaustiveMetric::GateEps
+            ? res.metrics.gateEps : res.metrics.totalEps;
+    };
+
+    CompileResult best =
+        compileWithPairs(native, topo, lib, pairs, false, inner);
+
+    while (static_cast<int>(pairs.size()) < n / 2) {
+        // Priority groups from the current best compilation's critical
+        // path: (1) qubits in critical computation gates, (2) qubits
+        // whose communication sits on the critical path, (3) the rest.
+        std::set<QubitId> crit_compute;
+        std::set<QubitId> crit_comm;
+        if (ordered_) {
+            const auto crit = criticalGates(best.compiled);
+            const auto &pgates = best.compiled.gates();
+            for (std::size_t i = 0; i < pgates.size(); ++i) {
+                if (!crit[i] || pgates[i].sourceGate < 0)
+                    continue;
+                const auto &src = native.gates()[pgates[i].sourceGate];
+                for (QubitId q : src.qubits) {
+                    if (pgates[i].isRouting)
+                        crit_comm.insert(q);
+                    else
+                        crit_compute.insert(q);
+                }
+            }
+        }
+        auto group_of = [&](QubitId a, QubitId b) {
+            if (!ordered_)
+                return 0;
+            if (crit_compute.count(a) || crit_compute.count(b))
+                return 1;
+            if (crit_comm.count(a) || crit_comm.count(b))
+                return 2;
+            return 3;
+        };
+
+        bool committed = false;
+        const int first_group = ordered_ ? 1 : 0;
+        const int last_group = ordered_ ? 3 : 0;
+        for (int group = first_group; group <= last_group && !committed;
+             ++group) {
+            double best_eps = value_of(best);
+            Compression best_pair{kInvalid, kInvalid};
+            CompileResult best_res;
+            for (QubitId a = 0; a < n; ++a) {
+                if (paired[a])
+                    continue;
+                for (QubitId b = a + 1; b < n; ++b) {
+                    if (paired[b] || group_of(a, b) != group)
+                        continue;
+                    auto cand = pairs;
+                    cand.push_back({a, b});
+                    CompileResult res = compileWithPairs(
+                        native, topo, lib, cand, false, inner);
+                    if (value_of(res) > best_eps) {
+                        best_eps = value_of(res);
+                        best_pair = {a, b};
+                        best_res = std::move(res);
+                    }
+                }
+            }
+            if (best_pair.first != kInvalid) {
+                pairs.push_back(best_pair);
+                paired[best_pair.first] = true;
+                paired[best_pair.second] = true;
+                best = std::move(best_res);
+                if (trace) {
+                    trace->push_back({best_pair,
+                                      best.metrics.gateEps,
+                                      best.metrics.coherenceEps,
+                                      best.metrics.totalEps, group});
+                }
+                committed = true;
+            }
+        }
+        if (!committed)
+            break;
+    }
+    return pairs;
+}
+
+} // namespace qompress

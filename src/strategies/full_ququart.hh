@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The Full-Ququart baseline (paper section 6.2): every qubit pair is
+ * encoded, there are no partial operations, so every external two-qubit
+ * gate routes whole ququarts together (SWAP4 only), decodes both pairs
+ * into ancilla units, applies the plain qubit-qubit gate, and
+ * re-encodes.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_FULL_QUQUART_HH
+#define QOMPRESS_STRATEGIES_FULL_QUQUART_HH
+
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** See file comment. */
+class FullQuquartStrategy : public CompressionStrategy
+{
+  public:
+    std::string name() const override { return "fq"; }
+
+    /** Greedy maximum-interaction-weight matching pairing *all* qubits
+     *  (one left bare when the count is odd). */
+    std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib,
+                const CompilerConfig &cfg) const override;
+
+    CompileResult compile(const Circuit &circuit, const Topology &topo,
+                          const GateLibrary &lib,
+                          const CompilerConfig &cfg = {}) const override;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_FULL_QUQUART_HH

@@ -1,0 +1,41 @@
+#include "strategies/portfolio.hh"
+
+#include "common/error.hh"
+
+namespace qompress {
+
+PortfolioStrategy::PortfolioStrategy(std::vector<std::string> names)
+    : names_(std::move(names))
+{
+    QFATAL_IF(names_.empty(), "portfolio needs at least one member");
+}
+
+CompileResult
+PortfolioStrategy::compile(const Circuit &circuit, const Topology &topo,
+                           const GateLibrary &lib,
+                           const CompilerConfig &cfg) const
+{
+    CompileResult best;
+    bool have = false;
+    for (const auto &name : names_) {
+        const auto member = makeStrategy(name);
+        CompileResult res;
+        try {
+            res = member->compile(circuit, topo, lib, cfg);
+        } catch (const FatalError &) {
+            // A member may not fit (e.g. qubit-only over capacity);
+            // the portfolio simply skips it.
+            continue;
+        }
+        if (!have || res.metrics.totalEps > best.metrics.totalEps) {
+            best = std::move(res);
+            lastWinner_ = name;
+            have = true;
+        }
+    }
+    QFATAL_IF(!have, "no portfolio member could compile '",
+              circuit.name(), "' on ", topo.name());
+    return best;
+}
+
+} // namespace qompress

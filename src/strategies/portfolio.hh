@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Portfolio compilation: run several strategies and keep the best
+ * result by total EPS. The paper evaluates strategies side by side;
+ * a deployment would simply take the winner, which this class
+ * packages behind the common interface.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_PORTFOLIO_HH
+#define QOMPRESS_STRATEGIES_PORTFOLIO_HH
+
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** See file comment. */
+class PortfolioStrategy : public CompressionStrategy
+{
+  public:
+    /** @param names member strategies; defaults to the paper's set
+     *  minus the deliberately-bad FQ baseline. */
+    explicit PortfolioStrategy(
+        std::vector<std::string> names = {"qubit_only", "eqm", "rb",
+                                          "awe", "pp"});
+
+    std::string name() const override { return "portfolio"; }
+
+    CompileResult compile(const Circuit &circuit, const Topology &topo,
+                          const GateLibrary &lib,
+                          const CompilerConfig &cfg = {}) const override;
+
+    /** Name of the member that won the last compile() call. */
+    const std::string &lastWinner() const { return lastWinner_; }
+
+  private:
+    std::vector<std::string> names_;
+    mutable std::string lastWinner_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_PORTFOLIO_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Progressive Pairing (paper section 5.5): start from a qubit-only
+ * mapping, estimate each candidate compression's fidelity effect from
+ * distance changes alone (no rerouting), commit the best, remap, and
+ * repeat.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_PROGRESSIVE_PAIRING_HH
+#define QOMPRESS_STRATEGIES_PROGRESSIVE_PAIRING_HH
+
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** See file comment. */
+class ProgressivePairingStrategy : public CompressionStrategy
+{
+  public:
+    std::string name() const override { return "pp"; }
+
+    std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib,
+                const CompilerConfig &cfg) const override;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_PROGRESSIVE_PAIRING_HH

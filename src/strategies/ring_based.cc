@@ -1,0 +1,137 @@
+#include "strategies/ring_based.hh"
+
+#include <algorithm>
+
+#include "graph/algorithms.hh"
+#include "ir/interaction.hh"
+
+namespace qompress {
+
+std::vector<Compression>
+RingBasedStrategy::choosePairs(const Circuit &native, const Topology &topo,
+                               const GateLibrary &lib,
+                               const CompilerConfig &cfg) const
+{
+    (void)topo;
+    (void)lib;
+    (void)cfg;
+    const InteractionModel im(native);
+    Graph work = im.graph(); // contracted as pairs commit
+    const int n = native.numQubits();
+    const double depth = std::max(1, native.depth());
+    std::vector<bool> paired(n, false);
+
+    std::vector<Compression> pairs;
+    while (true) {
+        // Shortest cycle through every still-available vertex.
+        std::vector<std::vector<int>> cycles;
+        int min_len = 0;
+        for (int v = 0; v < n; ++v) {
+            if (paired[v] || work.degree(v) == 0)
+                continue;
+            auto cyc = shortestCycleThrough(work, v);
+            if (cyc.empty())
+                continue;
+            const int len = static_cast<int>(cyc.size());
+            if (min_len == 0 || len < min_len)
+                min_len = len;
+            cycles.push_back(std::move(cyc));
+        }
+        if (cycles.empty())
+            break;
+
+        // Bound the identifiable cycle size by the global minimum.
+        cycles.erase(std::remove_if(cycles.begin(), cycles.end(),
+                                    [min_len](const auto &c) {
+                                        return static_cast<int>(c.size())
+                                               > min_len;
+                                    }),
+                     cycles.end());
+
+        // How many of the found cycles contain a given pair.
+        auto cycle_pair_count = [&](int a, int b) {
+            int count = 0;
+            for (const auto &cyc : cycles) {
+                const bool has_a = std::find(cyc.begin(), cyc.end(), a)
+                                   != cyc.end();
+                const bool has_b = std::find(cyc.begin(), cyc.end(), b)
+                                   != cyc.end();
+                if (has_a && has_b)
+                    ++count;
+            }
+            return count;
+        };
+
+        // Interaction weights shrink as 1/s with circuit length, so
+        // normalize them by the working graph's mean edge weight to
+        // keep the score scale-invariant across circuit sizes.
+        const double mean_w = work.numEdges() > 0
+            ? work.totalWeight() / work.numEdges() : 1.0;
+
+        double best_score = 0.0;
+        Compression best{kInvalid, kInvalid};
+        for (const auto &cyc : cycles) {
+            // Anchor: the cycle member with the fewest interactions
+            // outside the cycle.
+            int anchor = kInvalid;
+            int fewest_outside = 0;
+            for (int v : cyc) {
+                if (paired[v])
+                    continue;
+                int outside = 0;
+                for (const auto &e : work.neighbors(v)) {
+                    if (std::find(cyc.begin(), cyc.end(), e.to)
+                        == cyc.end()) {
+                        ++outside;
+                    }
+                }
+                if (anchor == kInvalid || outside < fewest_outside) {
+                    anchor = v;
+                    fewest_outside = outside;
+                }
+            }
+            if (anchor == kInvalid)
+                continue;
+            for (int u : cyc) {
+                if (u == anchor || paired[u])
+                    continue;
+                // Degree of the contracted node in the working graph:
+                // distinct external neighbours of anchor and u.
+                int merged_degree = 0;
+                for (const auto &e : work.neighbors(anchor)) {
+                    if (e.to != u)
+                        ++merged_degree;
+                }
+                for (const auto &e : work.neighbors(u)) {
+                    if (e.to != anchor && !work.hasEdge(anchor, e.to))
+                        ++merged_degree;
+                }
+                const double score =
+                    opts_.interactionWeight *
+                        (im.weight(anchor, u) / mean_w) +
+                    opts_.sharedNeighborWeight *
+                        im.sharedNeighbors(anchor, u) +
+                    opts_.cycleCountWeight * cycle_pair_count(anchor, u) -
+                    opts_.simultaneityPenalty *
+                        (im.simultaneousUse(anchor, u) / depth) -
+                    opts_.mergedDegreePenalty * merged_degree;
+                if (score > best_score) {
+                    best_score = score;
+                    best = {anchor, u};
+                }
+            }
+        }
+        if (best.first == kInvalid)
+            break;
+
+        pairs.push_back(best);
+        paired[best.first] = true;
+        paired[best.second] = true;
+        // Collapse the pair in the working graph so later rounds see
+        // the merged connectivity.
+        work.contract(best.first, best.second);
+    }
+    return pairs;
+}
+
+} // namespace qompress

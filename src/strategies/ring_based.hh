@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ring-Based compression (paper section 5.3): find small interaction
+ * cycles and compress within them to flatten the interaction graph
+ * toward a line.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_RING_BASED_HH
+#define QOMPRESS_STRATEGIES_RING_BASED_HH
+
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** Tunable scoring weights for the ring-based pair selection. */
+struct RingBasedOptions
+{
+    double interactionWeight = 10.0;  ///< reward internal interaction
+    double sharedNeighborWeight = 1.0; ///< reward merged connectivity
+    double cycleCountWeight = 1.0;    ///< reward pairs in many cycles
+    double simultaneityPenalty = 0.5; ///< punish forced serialization
+    /** Penalty per external edge of the contracted pair node: steers
+     *  the search toward contractions that flatten the interaction
+     *  graph into a line (the paper's Figure 5 intent). See
+     *  bench_ablations for its sensitivity. */
+    double mergedDegreePenalty = 1.0;
+};
+
+/**
+ * Compress within minimum-length interaction cycles.
+ *
+ * Per round: find the shortest cycle through every still-compressible
+ * qubit, bound the cycle size by the global minimum, pick the cycle
+ * member with the fewest outside interactions, score its pairings with
+ * every other member, and commit the best positive-scoring pair. The
+ * pair is contracted in the working interaction graph and the search
+ * repeats until no cycle yields a beneficial compression.
+ */
+class RingBasedStrategy : public CompressionStrategy
+{
+  public:
+    explicit RingBasedStrategy(RingBasedOptions opts = {}) : opts_(opts) {}
+
+    std::string name() const override { return "rb"; }
+
+    std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib,
+                const CompilerConfig &cfg) const override;
+
+  private:
+    RingBasedOptions opts_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_RING_BASED_HH

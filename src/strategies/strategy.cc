@@ -1,0 +1,71 @@
+#include "strategies/strategy.hh"
+
+#include "common/error.hh"
+#include "ir/passes.hh"
+#include "strategies/awe.hh"
+#include "strategies/exhaustive.hh"
+#include "strategies/full_ququart.hh"
+#include "strategies/portfolio.hh"
+#include "strategies/progressive_pairing.hh"
+#include "strategies/ring_based.hh"
+
+namespace qompress {
+
+std::vector<Compression>
+CompressionStrategy::choosePairs(const Circuit &, const Topology &,
+                                 const GateLibrary &,
+                                 const CompilerConfig &) const
+{
+    return {};
+}
+
+CompileResult
+CompressionStrategy::compile(const Circuit &circuit, const Topology &topo,
+                             const GateLibrary &lib,
+                             const CompilerConfig &cfg) const
+{
+    const Circuit native = isNative(circuit)
+        ? circuit : decomposeToNativeGates(circuit);
+    const auto pairs = choosePairs(native, topo, lib, cfg);
+    return compileWithPairs(native, topo, lib, pairs,
+                            allowDynamicSlot1(), cfg);
+}
+
+std::vector<std::unique_ptr<CompressionStrategy>>
+standardStrategies()
+{
+    std::vector<std::unique_ptr<CompressionStrategy>> out;
+    out.push_back(std::make_unique<QubitOnlyStrategy>());
+    out.push_back(std::make_unique<FullQuquartStrategy>());
+    out.push_back(std::make_unique<EqmStrategy>());
+    out.push_back(std::make_unique<RingBasedStrategy>());
+    out.push_back(std::make_unique<AweStrategy>());
+    out.push_back(std::make_unique<ProgressivePairingStrategy>());
+    return out;
+}
+
+std::unique_ptr<CompressionStrategy>
+makeStrategy(const std::string &name)
+{
+    if (name == "qubit_only")
+        return std::make_unique<QubitOnlyStrategy>();
+    if (name == "fq")
+        return std::make_unique<FullQuquartStrategy>();
+    if (name == "eqm")
+        return std::make_unique<EqmStrategy>();
+    if (name == "rb")
+        return std::make_unique<RingBasedStrategy>();
+    if (name == "awe")
+        return std::make_unique<AweStrategy>();
+    if (name == "pp")
+        return std::make_unique<ProgressivePairingStrategy>();
+    if (name == "ec")
+        return std::make_unique<ExhaustiveStrategy>(true);
+    if (name == "ec_unordered")
+        return std::make_unique<ExhaustiveStrategy>(false);
+    if (name == "portfolio")
+        return std::make_unique<PortfolioStrategy>();
+    QFATAL("unknown strategy '", name, "'");
+}
+
+} // namespace qompress

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The compression-strategy interface (paper section 5) and a registry
+ * of the standard strategies used throughout the evaluation.
+ */
+
+#ifndef QOMPRESS_STRATEGIES_STRATEGY_HH
+#define QOMPRESS_STRATEGIES_STRATEGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hh"
+
+namespace qompress {
+
+/**
+ * A qubit-compression policy.
+ *
+ * Most strategies pick pairs up front (choosePairs) and defer to the
+ * common pipeline; FQ overrides compile() outright because it routes
+ * at the qudit level with encode/decode around external operations.
+ */
+class CompressionStrategy
+{
+  public:
+    virtual ~CompressionStrategy() = default;
+
+    /** Stable identifier ("eqm", "rb", ...). */
+    virtual std::string name() const = 0;
+
+    /** Select compression pairs for a *native* circuit. */
+    virtual std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib, const CompilerConfig &cfg) const;
+
+    /** Whether the mapper may invent extra pairs (EQM). */
+    virtual bool allowDynamicSlot1() const { return false; }
+
+    /** Full compilation; the default decomposes, picks pairs, and runs
+     *  the shared pipeline. */
+    virtual CompileResult compile(const Circuit &circuit,
+                                  const Topology &topo,
+                                  const GateLibrary &lib,
+                                  const CompilerConfig &cfg = {}) const;
+};
+
+/** Never compresses; the paper's qubit-only baseline. */
+class QubitOnlyStrategy : public CompressionStrategy
+{
+  public:
+    std::string name() const override { return "qubit_only"; }
+};
+
+/** Extended Qubit Mapping: compression emerges from greedy mapping
+ *  over the expanded graph (paper section 5.2). */
+class EqmStrategy : public CompressionStrategy
+{
+  public:
+    std::string name() const override { return "eqm"; }
+    bool allowDynamicSlot1() const override { return true; }
+};
+
+/**
+ * The standard strategy set evaluated in the paper's figures:
+ * qubit_only, fq, eqm, rb, awe, pp.
+ */
+std::vector<std::unique_ptr<CompressionStrategy>> standardStrategies();
+
+/** Build one strategy by name (including "ec" and "ec_unordered"). */
+std::unique_ptr<CompressionStrategy>
+makeStrategy(const std::string &name);
+
+} // namespace qompress
+
+#endif // QOMPRESS_STRATEGIES_STRATEGY_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the benchmark circuit generators and graph families.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/arithmetic.hh"
+#include "circuits/bv.hh"
+#include "circuits/cnu.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "circuits/qram.hh"
+#include "circuits/registry.hh"
+#include "common/error.hh"
+#include "graph/algorithms.hh"
+#include "ir/interaction.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Cuccaro, QubitCountAndGateMix)
+{
+    for (int bits = 1; bits <= 6; ++bits) {
+        const Circuit c = cuccaroAdder(bits);
+        EXPECT_EQ(c.numQubits(), 2 * bits + 2);
+        // MAJ and UMA are 2 CX + 1 CCX each; plus the carry CX.
+        EXPECT_EQ(c.countGatesWithArity(3), 2 * bits);
+        EXPECT_EQ(c.countGatesWithArity(2), 4 * bits + 1);
+    }
+}
+
+TEST(Cuccaro, ForSizeFitsBudget)
+{
+    const Circuit c = cuccaroAdderForSize(25);
+    EXPECT_LE(c.numQubits(), 25);
+    EXPECT_GE(c.numQubits(), 20);
+    EXPECT_THROW(cuccaroAdderForSize(3), FatalError);
+}
+
+TEST(Cnu, SmallestIsPlainToffoli)
+{
+    const Circuit c = generalizedToffoli(2);
+    EXPECT_EQ(c.numQubits(), 3);
+    EXPECT_EQ(c.numGates(), 1);
+    EXPECT_EQ(c.gates()[0].type, GateType::CCX);
+}
+
+TEST(Cnu, VChainStructure)
+{
+    for (int k = 3; k <= 8; ++k) {
+        const Circuit c = generalizedToffoli(k);
+        EXPECT_EQ(c.numQubits(), 2 * k - 1);
+        // Compute cascade (k-2 CCX), one target CCX, uncompute (k-2).
+        EXPECT_EQ(c.countGatesWithArity(3), 2 * (k - 2) + 1);
+    }
+}
+
+TEST(Cnu, InteractionGraphHasTriangles)
+{
+    const Circuit c = generalizedToffoli(4);
+    const InteractionModel im(c);
+    // Each CCX forms a triangle; every qubit of the first CCX lies on
+    // a 3-cycle.
+    const auto cyc = shortestCycleThrough(im.graph(), 0);
+    EXPECT_EQ(cyc.size(), 3u);
+}
+
+TEST(Qram, SizesAndStructure)
+{
+    for (int depth = 2; depth <= 4; ++depth) {
+        const Circuit c = qram(depth);
+        EXPECT_EQ(c.numQubits(), depth + (1 << depth));
+        EXPECT_GT(c.numGates(), 0);
+    }
+    EXPECT_THROW(qram(1), FatalError);
+}
+
+TEST(Qram, ForSizeRespectsBudget)
+{
+    const Circuit c = qramForSize(25);
+    EXPECT_LE(c.numQubits(), 25);
+    EXPECT_EQ(c.numQubits(), 20); // depth 4
+}
+
+TEST(Bv, StarInteractionAroundTarget)
+{
+    const Circuit c = bernsteinVazirani(8);
+    EXPECT_EQ(c.numQubits(), 8);
+    const InteractionModel im(c);
+    // Every 2q edge touches the target (qubit 7): no cycles anywhere.
+    for (const auto &e : im.graph().edges())
+        EXPECT_TRUE(e.u == 7 || e.v == 7);
+    for (int v = 0; v < 8; ++v)
+        EXPECT_TRUE(shortestCycleThrough(im.graph(), v).empty());
+}
+
+TEST(Bv, DeterministicPerSeed)
+{
+    const Circuit a = bernsteinVazirani(10, 5);
+    const Circuit b = bernsteinVazirani(10, 5);
+    EXPECT_EQ(a.numGates(), b.numGates());
+}
+
+TEST(Graphs, RandomGraphConnectedAtTargetDensity)
+{
+    const Graph g = randomGraph(20, 0.3, 3);
+    EXPECT_EQ(g.numVertices(), 20);
+    const auto comp = connectedComponents(g);
+    EXPECT_TRUE(std::all_of(comp.begin(), comp.end(),
+                            [](int c) { return c == 0; }));
+    // Density sanity: 30% of 190 possible edges, within slack.
+    EXPECT_GT(g.numEdges(), 30);
+    EXPECT_LT(g.numEdges(), 90);
+}
+
+TEST(Graphs, CylinderNodeAndEdgeCounts)
+{
+    const Graph g = cylinderGraph(3, 4); // 3 rings of 4
+    EXPECT_EQ(g.numVertices(), 12);
+    // Ring edges 3*4, inter-ring 2*4.
+    EXPECT_EQ(g.numEdges(), 20);
+}
+
+TEST(Graphs, TorusIsFourRegular)
+{
+    const Graph g = torusGraph(4, 4);
+    EXPECT_EQ(g.numVertices(), 16);
+    EXPECT_EQ(g.numEdges(), 32);
+    for (int v = 0; v < 16; ++v)
+        EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Graphs, BinaryWeldedTreeStructure)
+{
+    const int depth = 3;
+    const Graph g = binaryWeldedTree(depth, 1);
+    const int per_tree = (1 << (depth + 1)) - 1;
+    EXPECT_EQ(g.numVertices(), 2 * per_tree);
+    // Leaves have degree 3 (one tree edge + two weld edges); roots 2.
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_EQ(g.degree(per_tree), 2);
+    const int first_leaf = (1 << depth) - 1;
+    for (int l = first_leaf; l < per_tree; ++l)
+        EXPECT_EQ(g.degree(l), 3);
+    const auto comp = connectedComponents(g);
+    EXPECT_TRUE(std::all_of(comp.begin(), comp.end(),
+                            [](int c) { return c == 0; }));
+}
+
+TEST(Qaoa, GateCountPerEdge)
+{
+    const Graph g = cylinderGraph(2, 4);
+    QaoaOptions opts;
+    const Circuit c = qaoaFromGraph(g, opts);
+    EXPECT_EQ(c.numQubits(), g.numVertices());
+    // H layer + (CX, RZ, CX) per edge.
+    EXPECT_EQ(c.numGates(), g.numVertices() + 3 * g.numEdges());
+    EXPECT_EQ(c.numTwoQubitGates(), 2 * g.numEdges());
+}
+
+TEST(Qaoa, LayersMultiplyCost)
+{
+    const Graph g = cylinderGraph(2, 4);
+    QaoaOptions opts;
+    opts.layers = 2;
+    opts.initial_h_layer = false;
+    const Circuit c = qaoaFromGraph(g, opts);
+    EXPECT_EQ(c.numGates(), 2 * 3 * g.numEdges());
+}
+
+TEST(Registry, AllFamiliesProduceValidCircuits)
+{
+    for (const auto &fam : benchmarkFamilies()) {
+        const int size = std::max(fam.minQubits, 16);
+        const Circuit c = fam.make(size);
+        EXPECT_GT(c.numGates(), 0) << fam.name;
+        EXPECT_LE(c.numQubits(), size + 1) << fam.name;
+    }
+    EXPECT_EQ(benchmarkFamilies().size(), 8u);
+}
+
+TEST(Registry, LookupByName)
+{
+    EXPECT_EQ(benchmarkFamily("cuccaro").name, "cuccaro");
+    EXPECT_THROW(benchmarkFamily("nope"), FatalError);
+}
+
+} // namespace
+} // namespace qompress

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * End-to-end functional verification: for a sweep of circuits,
+ * topologies, and strategies, the compiled mixed-radix program must
+ * implement exactly the logical circuit (statevector equivalence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/arithmetic.hh"
+#include "circuits/cnu.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "common/rng.hh"
+#include "sim/equivalence.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+
+void
+expectEquivalent(const Circuit &logical, const Topology &topo,
+                 const std::string &strategy_name)
+{
+    const auto strategy = makeStrategy(strategy_name);
+    const CompileResult res = strategy->compile(logical, topo, kLib);
+    const EquivalenceReport rep = checkEquivalence(logical, res.compiled);
+    EXPECT_TRUE(rep.ok) << strategy_name << " on " << logical.name()
+                        << " / " << topo.name() << ": " << rep.message;
+}
+
+/** Seeded random native circuit over n qubits. */
+Circuit
+randomCircuit(int n, int gates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(n, "random");
+    for (int i = 0; i < gates; ++i) {
+        const int kind = rng.nextInt(0, 5);
+        const int a = rng.nextInt(0, n - 1);
+        int b = rng.nextInt(0, n - 2);
+        if (b >= a)
+            ++b;
+        switch (kind) {
+          case 0:
+            c.h(a);
+            break;
+          case 1:
+            c.t(a);
+            break;
+          case 2:
+            c.x(a);
+            break;
+          case 3:
+            c.cx(a, b);
+            break;
+          case 4:
+            c.cx(b, a);
+            break;
+          default:
+            c.swap(a, b);
+            break;
+        }
+    }
+    return c;
+}
+
+TEST(Equivalence, BellPairAllStrategies)
+{
+    Circuit bell(2, "bell");
+    bell.h(0);
+    bell.cx(0, 1);
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp", "fq"})
+        expectEquivalent(bell, Topology::grid(3), s);
+}
+
+TEST(Equivalence, GhzOnLine)
+{
+    Circuit ghz(4, "ghz");
+    ghz.h(0);
+    ghz.cx(0, 1);
+    ghz.cx(1, 2);
+    ghz.cx(2, 3);
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp"})
+        expectEquivalent(ghz, Topology::line(4), s);
+}
+
+TEST(Equivalence, ToffoliDecomposition)
+{
+    Circuit c(3, "ccx");
+    c.x(0);
+    c.x(1);
+    c.ccx(0, 1, 2);
+    for (const char *s : {"qubit_only", "eqm"})
+        expectEquivalent(c, Topology::grid(3), s);
+}
+
+TEST(Equivalence, CuccaroSmallAllStrategies)
+{
+    const Circuit adder = cuccaroAdder(2); // 6 qubits
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp"})
+        expectEquivalent(adder, Topology::grid(6), s);
+}
+
+TEST(Equivalence, CnuSmall)
+{
+    const Circuit cnu = generalizedToffoli(3); // 5 qubits
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp"})
+        expectEquivalent(cnu, Topology::grid(5), s);
+}
+
+TEST(Equivalence, QaoaTriangle)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    const Circuit qaoa = qaoaFromGraph(g);
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp", "fq"})
+        expectEquivalent(qaoa, Topology::grid(4), s);
+}
+
+TEST(Equivalence, FullQuquartWithDecodePath)
+{
+    // 6 qubits on a 3x3 grid: FQ pairs them into 3 ququarts and must
+    // decode/encode around external CX gates.
+    Circuit c(6, "fq_path");
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    c.cx(3, 4);
+    c.cx(4, 5);
+    c.cx(0, 5);
+    expectEquivalent(c, Topology::grid(9), "fq");
+}
+
+TEST(Equivalence, ExhaustiveStrategySmall)
+{
+    Circuit c(4, "ec_small");
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    c.cx(0, 3);
+    expectEquivalent(c, Topology::grid(4), "ec");
+    expectEquivalent(c, Topology::grid(4), "ec_unordered");
+}
+
+TEST(Equivalence, RingTopology)
+{
+    const Circuit adder = cuccaroAdder(2);
+    for (const char *s : {"qubit_only", "eqm"})
+        expectEquivalent(adder, Topology::ring(6), s);
+}
+
+struct SweepParam
+{
+    std::string strategy;
+    std::uint64_t seed;
+};
+
+class RandomCircuitSweep
+    : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(RandomCircuitSweep, CompiledMatchesLogical)
+{
+    const auto &[strategy, seed] = GetParam();
+    const Circuit c = randomCircuit(6, 24, seed);
+    expectEquivalent(c, Topology::grid(6), strategy);
+}
+
+std::vector<SweepParam>
+sweepParams()
+{
+    std::vector<SweepParam> params;
+    for (const char *s : {"qubit_only", "eqm", "rb", "awe", "pp", "fq"})
+        for (std::uint64_t seed = 1; seed <= 4; ++seed)
+            params.push_back({s, seed});
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, RandomCircuitSweep, ::testing::ValuesIn(sweepParams()),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        return info.param.strategy + "_seed" +
+               std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace qompress

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the evaluation sweep harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "eval/sweep.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Sweep, ProducesOneRecordPerCell)
+{
+    SweepSpec spec;
+    spec.families = {"cuccaro"};
+    spec.sizes = {10, 14};
+    spec.strategies = {"qubit_only", "eqm"};
+    const auto records = runSweep(spec);
+    EXPECT_EQ(records.size(), 4u);
+    for (const auto &r : records) {
+        EXPECT_GT(r.qubits, 0);
+        EXPECT_GT(r.metrics.totalEps, 0.0);
+    }
+}
+
+TEST(Sweep, DeduplicatesSnappedSizes)
+{
+    // qram snaps 22 and 25 to the same 20-qubit instance.
+    SweepSpec spec;
+    spec.families = {"qram"};
+    spec.sizes = {22, 25};
+    spec.strategies = {"qubit_only"};
+    const auto records = runSweep(spec);
+    EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(Sweep, SkipsSizesBelowFamilyMinimum)
+{
+    SweepSpec spec;
+    spec.families = {"qaoa_torus"}; // needs >= 12
+    spec.sizes = {5, 16};
+    spec.strategies = {"qubit_only"};
+    const auto records = runSweep(spec);
+    EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(Sweep, RecordsNonFittingStrategiesWithZeroQubits)
+{
+    SweepSpec spec;
+    spec.families = {"cuccaro"};
+    spec.sizes = {12};
+    spec.strategies = {"qubit_only", "eqm"};
+    spec.device = [](const Circuit &c) {
+        return Topology::grid((c.numQubits() + 1) / 2); // half size
+    };
+    const auto records = runSweep(spec);
+    ASSERT_EQ(records.size(), 2u);
+    for (const auto &r : records) {
+        if (r.strategy == "qubit_only")
+            EXPECT_EQ(r.qubits, 0); // did not fit
+        else
+            EXPECT_GT(r.qubits, 0);
+    }
+    // filterSweep drops the non-fitting record.
+    EXPECT_TRUE(filterSweep(records, "cuccaro", "qubit_only").empty());
+    EXPECT_EQ(filterSweep(records, "cuccaro", "eqm").size(), 1u);
+}
+
+TEST(Sweep, RatiosPairUpBySize)
+{
+    SweepSpec spec;
+    spec.families = {"cnu"};
+    spec.sizes = {11, 15};
+    spec.strategies = {"qubit_only", "rb"};
+    const auto records = runSweep(spec);
+    const auto ratios =
+        sweepRatios(records, "cnu", "rb", "qubit_only",
+                    [](const Metrics &m) { return m.gateEps; });
+    EXPECT_EQ(ratios.size(), 2u);
+    for (double r : ratios)
+        EXPECT_GT(r, 0.0);
+    // Baseline over itself is exactly 1.
+    const auto self =
+        sweepRatios(records, "cnu", "qubit_only", "qubit_only",
+                    [](const Metrics &m) { return m.gateEps; });
+    for (double r : self)
+        EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Sweep, RejectsEmptySpecs)
+{
+    SweepSpec spec;
+    EXPECT_THROW(runSweep(spec), FatalError);
+}
+
+} // namespace
+} // namespace qompress

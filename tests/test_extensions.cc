@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the extension features: router lookahead, custom
+ * topologies (edge lists and files), heavy-hex equivalence, and
+ * FQ router internals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "circuits/arithmetic.hh"
+#include "common/error.hh"
+#include "sim/equivalence.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+
+TEST(Lookahead, CompiledCircuitsStayValidAndEquivalent)
+{
+    Circuit c(6, "look");
+    c.h(0);
+    c.cx(0, 3);
+    c.cx(3, 5);
+    c.cx(0, 5);
+    c.cx(1, 4);
+    c.cx(2, 5);
+    c.cx(0, 4);
+    const Topology topo = Topology::line(6);
+    for (double w : {0.0, 0.25, 1.0}) {
+        CompilerConfig cfg;
+        cfg.lookaheadWeight = w;
+        const auto res =
+            makeStrategy("qubit_only")->compile(c, topo, kLib, cfg);
+        validateCompiled(res.compiled, topo);
+        EXPECT_TRUE(checkEquivalence(c, res.compiled).ok)
+            << "lookahead " << w;
+    }
+}
+
+TEST(Lookahead, CanReduceSwapCount)
+{
+    // A circuit where greedy routing without lookahead is suboptimal:
+    // qubit 0 interacts with the far end twice in a row.
+    const Circuit adder = cuccaroAdder(6); // 14 qubits
+    const Topology topo = Topology::ring(14);
+    CompilerConfig off;
+    off.lookaheadWeight = 0.0;
+    CompilerConfig on;
+    on.lookaheadWeight = 0.5;
+    const auto base =
+        makeStrategy("qubit_only")->compile(adder, topo, kLib, off);
+    const auto look =
+        makeStrategy("qubit_only")->compile(adder, topo, kLib, on);
+    // Lookahead must not be dramatically worse; usually it helps.
+    EXPECT_LE(look.metrics.numRoutingGates,
+              base.metrics.numRoutingGates + 5);
+}
+
+TEST(CustomTopology, FromEdgeList)
+{
+    const Topology t = Topology::fromEdgeList(
+        {{0, 1}, {1, 2}, {2, 0}, {2, 3}}, "kite");
+    EXPECT_EQ(t.numUnits(), 4);
+    EXPECT_EQ(t.numEdges(), 4);
+    EXPECT_EQ(t.name(), "kite");
+    EXPECT_TRUE(t.adjacent(2, 3));
+    EXPECT_FALSE(t.adjacent(0, 3));
+}
+
+TEST(CustomTopology, MinUnitsPadsIsolatedUnits)
+{
+    const Topology t =
+        Topology::fromEdgeList({{0, 1}}, "padded", 5);
+    EXPECT_EQ(t.numUnits(), 5);
+}
+
+TEST(CustomTopology, RejectsSelfCoupling)
+{
+    EXPECT_THROW(Topology::fromEdgeList({{1, 1}}, "bad"), FatalError);
+}
+
+TEST(CustomTopology, FromFileWithComments)
+{
+    const std::string path = "/tmp/qompress_topo_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# a T-shaped device\n";
+        out << "0 1\n1 2 # inline comment\n";
+        out << "\n";
+        out << "1 3\n";
+    }
+    const Topology t = Topology::fromFile(path);
+    EXPECT_EQ(t.numUnits(), 4);
+    EXPECT_EQ(t.numEdges(), 3);
+    EXPECT_TRUE(t.adjacent(1, 3));
+    std::remove(path.c_str());
+}
+
+TEST(CustomTopology, FromFileErrors)
+{
+    EXPECT_THROW(Topology::fromFile("/nonexistent.topo"), FatalError);
+    const std::string path = "/tmp/qompress_topo_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "0\n";
+    }
+    EXPECT_THROW(Topology::fromFile(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(CustomTopology, CompilesOnCustomDevice)
+{
+    // A 5-unit star: everything routes through the hub.
+    const Topology star = Topology::fromEdgeList(
+        {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, "star5");
+    Circuit c(5, "star_circ");
+    c.h(0);
+    c.cx(1, 2);
+    c.cx(3, 4);
+    c.cx(1, 4);
+    const auto res = makeStrategy("eqm")->compile(c, star, kLib);
+    validateCompiled(res.compiled, star);
+    EXPECT_TRUE(checkEquivalence(c, res.compiled).ok);
+}
+
+TEST(HeavyHex, EquivalenceOnRealTopology)
+{
+    // Functional check on the 65-unit heavy-hex device: the active
+    // subset stays small enough to simulate.
+    const Circuit adder = cuccaroAdder(3); // 8 qubits
+    const Topology topo = Topology::heavyHex65();
+    for (const char *s : {"qubit_only", "eqm", "rb"}) {
+        const auto res = makeStrategy(s)->compile(adder, topo, kLib);
+        const auto rep = checkEquivalence(adder, res.compiled);
+        EXPECT_TRUE(rep.ok) << s << ": " << rep.message;
+    }
+}
+
+TEST(FqInternals, OperandAtPositionOneGetsInternalSwapBeforeDecode)
+{
+    // Pair (0, 1): qubit 1 sits at position 1. A gate on qubit 1 with
+    // an outside qubit forces SWAPin before DEC.
+    Circuit c(6, "fq_pos1");
+    c.cx(0, 1);  // makes (0,1) the heaviest pair
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(2, 3);
+    c.cx(4, 5);
+    c.cx(4, 5);
+    c.cx(1, 4);  // external op with q1 (encoded at position 1)
+    const auto res =
+        makeStrategy("fq")->compile(c, Topology::grid(9), kLib);
+    const auto hist = res.compiled.classHistogram();
+    EXPECT_GT(hist[static_cast<int>(PhysGateClass::SwapInternal)], 0);
+    EXPECT_GT(hist[static_cast<int>(PhysGateClass::Decode)], 0);
+    EXPECT_TRUE(checkEquivalence(c, res.compiled).ok);
+}
+
+TEST(FqInternals, RoutingOnRingRequiresSwap4Chains)
+{
+    Circuit c(6, "fq_ring");
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(4, 5);
+    c.cx(0, 4); // pairs are spread around the ring
+    const Topology topo = Topology::ring(8);
+    const auto res = makeStrategy("fq")->compile(c, topo, kLib);
+    validateCompiled(res.compiled, topo);
+    EXPECT_TRUE(checkEquivalence(c, res.compiled).ok);
+}
+
+} // namespace
+} // namespace qompress

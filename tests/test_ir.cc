@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: gates, circuits, passes, interaction
+ * analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "ir/circuit.hh"
+#include "ir/interaction.hh"
+#include "ir/passes.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Gate, ArityAndNames)
+{
+    EXPECT_EQ(gateArity(GateType::X), 1);
+    EXPECT_EQ(gateArity(GateType::CX), 2);
+    EXPECT_EQ(gateArity(GateType::CCX), 3);
+    EXPECT_EQ(gateName(GateType::Swap), "swap");
+    EXPECT_TRUE(gateHasParam(GateType::RZ));
+    EXPECT_FALSE(gateHasParam(GateType::H));
+}
+
+TEST(Gate, StrRendering)
+{
+    Gate g{GateType::CX, {3, 7}};
+    EXPECT_EQ(g.str(), "cx q3, q7");
+    Gate r{GateType::RZ, {1}, 0.5};
+    EXPECT_EQ(r.str(), "rz(0.5) q1");
+    EXPECT_TRUE(g.actsOn(3));
+    EXPECT_FALSE(g.actsOn(4));
+}
+
+TEST(Circuit, BuildersAndValidation)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.ccx(0, 1, 2);
+    EXPECT_EQ(c.numGates(), 3);
+    EXPECT_EQ(c.numTwoQubitGates(), 1);
+    EXPECT_THROW(c.cx(0, 0), PanicError);   // duplicate operand
+    EXPECT_THROW(c.x(5), PanicError);       // out of range
+}
+
+TEST(Circuit, AsapLayersAndDepth)
+{
+    Circuit c(3);
+    c.h(0);        // layer 1
+    c.h(1);        // layer 1
+    c.cx(0, 1);    // layer 2
+    c.x(2);        // layer 1
+    c.cx(1, 2);    // layer 3
+    const auto layers = c.asapLayers();
+    const std::vector<int> want{1, 1, 2, 1, 3};
+    EXPECT_EQ(layers, want);
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, AppendAndHighestUsed)
+{
+    Circuit a(2), b(4);
+    a.cx(0, 1);
+    b.append(a);
+    EXPECT_EQ(b.numGates(), 1);
+    EXPECT_EQ(b.highestUsedQubit(), 2);
+    Circuit small(1);
+    EXPECT_THROW(small.append(b), PanicError);
+}
+
+TEST(Circuit, QasmDump)
+{
+    Circuit c(2);
+    c.h(0);
+    c.rz(0.25, 1);
+    c.cx(0, 1);
+    const std::string qasm = c.toQasm();
+    EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.25) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+}
+
+TEST(Passes, CcxDecomposesToFifteenNativeGates)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    const Circuit native = decomposeToNativeGates(c);
+    EXPECT_TRUE(isNative(native));
+    EXPECT_EQ(native.numGates(), 15);
+    EXPECT_EQ(native.numTwoQubitGates(), 6);
+}
+
+TEST(Passes, CzLowersToHCxH)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    const Circuit native = decomposeToNativeGates(c);
+    ASSERT_EQ(native.numGates(), 3);
+    EXPECT_EQ(native.gates()[0].type, GateType::H);
+    EXPECT_EQ(native.gates()[1].type, GateType::CX);
+    EXPECT_EQ(native.gates()[2].type, GateType::H);
+}
+
+TEST(Passes, NativeGatesPassThrough)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.swap(0, 1);
+    const Circuit native = decomposeToNativeGates(c);
+    EXPECT_EQ(native.numGates(), 3);
+    EXPECT_TRUE(isNative(c));
+}
+
+TEST(Passes, CancelAdjacentPairs)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(0);        // cancels
+    c.cx(0, 1);
+    c.cx(0, 1);    // cancels
+    c.x(1);
+    const Circuit out = cancelAdjacentPairs(c);
+    EXPECT_EQ(out.numGates(), 1);
+    EXPECT_EQ(out.gates()[0].type, GateType::X);
+}
+
+TEST(Passes, CancelDoesNotCrossInterveningGate)
+{
+    Circuit c(2);
+    c.h(0);
+    c.x(0);
+    c.h(0); // must NOT cancel with the first h
+    const Circuit out = cancelAdjacentPairs(c);
+    EXPECT_EQ(out.numGates(), 3);
+}
+
+TEST(Interaction, WeightsFollowOneOverTimestep)
+{
+    Circuit c(3);
+    c.cx(0, 1); // layer 1: w(0,1) += 1
+    c.cx(1, 2); // layer 2: w(1,2) += 1/2
+    c.cx(0, 1); // layer 3: w(0,1) += 1/3
+    const InteractionModel im(c);
+    EXPECT_NEAR(im.weight(0, 1), 1.0 + 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(im.weight(1, 2), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(im.weight(0, 2), 0.0);
+    EXPECT_NEAR(im.totalWeight(1), 1.0 + 1.0 / 3.0 + 0.5, 1e-12);
+    EXPECT_EQ(im.pairGateCount(0, 1), 2);
+    EXPECT_EQ(im.pairGateCount(0, 2), 0);
+}
+
+TEST(Interaction, SimultaneousUseCountsParallelGates)
+{
+    Circuit c(4);
+    c.cx(0, 1); // layer 1
+    c.cx(2, 3); // layer 1: (0,2), (0,3), (1,2), (1,3) simultaneous
+    const InteractionModel im(c);
+    EXPECT_EQ(im.simultaneousUse(0, 2), 1);
+    EXPECT_EQ(im.simultaneousUse(1, 3), 1);
+    EXPECT_EQ(im.simultaneousUse(0, 1), 0); // same gate
+}
+
+TEST(Interaction, SharedNeighbors)
+{
+    Circuit c(4);
+    c.cx(0, 2);
+    c.cx(1, 2);
+    c.cx(0, 3);
+    c.cx(1, 3);
+    const InteractionModel im(c);
+    EXPECT_EQ(im.sharedNeighbors(0, 1), 2); // both touch 2 and 3
+    EXPECT_EQ(im.sharedNeighbors(2, 3), 2);
+}
+
+} // namespace
+} // namespace qompress

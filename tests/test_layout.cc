@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the Layout bidirectional qubit/slot map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "compiler/layout.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Layout, PlaceAndLookup)
+{
+    Layout l(3, 4);
+    EXPECT_EQ(l.numSlots(), 8);
+    l.place(0, makeSlot(1, 0));
+    EXPECT_EQ(l.slotOf(0), makeSlot(1, 0));
+    EXPECT_EQ(l.qubitAt(makeSlot(1, 0)), 0);
+    EXPECT_TRUE(l.isMapped(0));
+    EXPECT_FALSE(l.isMapped(1));
+    EXPECT_EQ(l.numMapped(), 1);
+}
+
+TEST(Layout, DoublePlacePanics)
+{
+    Layout l(2, 2);
+    l.place(0, 0);
+    EXPECT_THROW(l.place(0, 1), PanicError); // qubit again
+    EXPECT_THROW(l.place(1, 0), PanicError); // slot occupied
+}
+
+TEST(Layout, RemoveFreesBoth)
+{
+    Layout l(2, 2);
+    l.place(0, 2);
+    l.remove(0);
+    EXPECT_FALSE(l.isMapped(0));
+    EXPECT_FALSE(l.occupied(2));
+    EXPECT_THROW(l.remove(0), PanicError);
+}
+
+TEST(Layout, SwapSlotsOccupiedPair)
+{
+    Layout l(2, 2);
+    l.place(0, makeSlot(0, 0));
+    l.place(1, makeSlot(1, 0));
+    l.swapSlots(makeSlot(0, 0), makeSlot(1, 0));
+    EXPECT_EQ(l.qubitAt(makeSlot(0, 0)), 1);
+    EXPECT_EQ(l.qubitAt(makeSlot(1, 0)), 0);
+    EXPECT_EQ(l.slotOf(0), makeSlot(1, 0));
+}
+
+TEST(Layout, SwapSlotsWithEmpty)
+{
+    Layout l(1, 2);
+    l.place(0, makeSlot(0, 0));
+    l.swapSlots(makeSlot(0, 0), makeSlot(1, 0));
+    EXPECT_FALSE(l.occupied(makeSlot(0, 0)));
+    EXPECT_EQ(l.slotOf(0), makeSlot(1, 0));
+}
+
+TEST(Layout, EncodedStateTracking)
+{
+    Layout l(4, 3);
+    l.place(0, makeSlot(0, 0));
+    EXPECT_FALSE(l.unitEncoded(0));
+    EXPECT_EQ(l.unitOccupancy(0), 1);
+    l.place(1, makeSlot(0, 1));
+    EXPECT_TRUE(l.unitEncoded(0));
+    EXPECT_EQ(l.unitOccupancy(0), 2);
+    l.place(2, makeSlot(2, 0));
+    EXPECT_EQ(l.numEncodedUnits(), 1);
+}
+
+} // namespace
+} // namespace qompress

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the EPS metrics (paper section 6.1.1): gate-fidelity
+ * product and worst-case coherence accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/pipeline.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+
+TEST(Metrics, GateEpsIsFidelityProduct)
+{
+    Circuit c(2, "two_gates");
+    c.h(0);
+    c.cx(0, 1);
+    const CompileResult res = compileWithPairs(
+        c, Topology::line(2), kLib, {}, false);
+    EXPECT_NEAR(res.metrics.gateEps, 0.999 * 0.99, 1e-12);
+    EXPECT_EQ(res.metrics.numGates, 2);
+    EXPECT_EQ(res.metrics.numTwoUnitGates, 1);
+}
+
+TEST(Metrics, CoherenceEpsBareQubits)
+{
+    // Two bare qubits alive for the whole circuit: coherence EPS =
+    // exp(-2 T / T1_qubit).
+    Circuit c(2, "coh");
+    c.cx(0, 1);
+    const CompileResult res = compileWithPairs(
+        c, Topology::line(2), kLib, {}, false);
+    const double t = res.metrics.durationNs;
+    EXPECT_DOUBLE_EQ(t, kLib.duration(PhysGateClass::CxBareBare));
+    EXPECT_NEAR(res.metrics.coherenceEps,
+                std::exp(-2.0 * t / kLib.t1Qubit()), 1e-12);
+    EXPECT_NEAR(res.metrics.qubitTimeNs, 2.0 * t, 1e-9);
+    EXPECT_DOUBLE_EQ(res.metrics.ququartTimeNs, 0.0);
+}
+
+TEST(Metrics, CoherenceEpsEncodedPair)
+{
+    // A compressed pair spends the whole circuit in the ququart state:
+    // coherence EPS = exp(-2 T / T1_ququart).
+    Circuit c(2, "coh_enc");
+    c.cx(0, 1);
+    CompilerConfig cfg;
+    cfg.chargeInitialEnc = false;
+    const CompileResult res = compileWithPairs(
+        c, Topology::line(2), kLib, {{0, 1}}, false, cfg);
+    const double t = res.metrics.durationNs;
+    EXPECT_DOUBLE_EQ(t, kLib.duration(PhysGateClass::CxInternal0));
+    EXPECT_NEAR(res.metrics.coherenceEps,
+                std::exp(-2.0 * t / kLib.t1Ququart()), 1e-12);
+    EXPECT_NEAR(res.metrics.ququartTimeNs, 2.0 * t, 1e-9);
+}
+
+TEST(Metrics, TotalIsProduct)
+{
+    Circuit c(3, "prod");
+    c.cx(0, 1);
+    c.cx(1, 2);
+    const CompileResult res = compileWithPairs(
+        c, Topology::line(3), kLib, {}, false);
+    EXPECT_NEAR(res.metrics.totalEps,
+                res.metrics.gateEps * res.metrics.coherenceEps, 1e-15);
+}
+
+TEST(Metrics, BetterT1RaisesCoherence)
+{
+    Circuit c(4, "t1");
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    GateLibrary better = kLib;
+    better.setT1(10.0 * kLib.t1Qubit(), 10.0 * kLib.t1Ququart());
+    const CompileResult base = compileWithPairs(
+        c, Topology::line(4), kLib, {{0, 1}}, false);
+    const CompileResult boosted = compileWithPairs(
+        c, Topology::line(4), better, {{0, 1}}, false);
+    EXPECT_GT(boosted.metrics.coherenceEps, base.metrics.coherenceEps);
+    // Gate EPS is unchanged by T1.
+    EXPECT_NEAR(boosted.metrics.gateEps, base.metrics.gateEps, 1e-12);
+}
+
+TEST(Metrics, HistogramMatchesCircuit)
+{
+    Circuit c(2, "hist");
+    c.h(0);
+    c.h(1);
+    c.cx(0, 1);
+    const CompileResult res = compileWithPairs(
+        c, Topology::line(2), kLib, {}, false);
+    const auto &hist = res.metrics.classHistogram;
+    EXPECT_EQ(hist[static_cast<int>(PhysGateClass::SqBare)], 2);
+    EXPECT_EQ(hist[static_cast<int>(PhysGateClass::CxBareBare)], 1);
+    int total = 0;
+    for (int v : hist)
+        total += v;
+    EXPECT_EQ(total, res.metrics.numGates);
+}
+
+TEST(Metrics, EncodedUnitCountReported)
+{
+    Circuit c(4, "enc_count");
+    c.cx(0, 1);
+    c.cx(2, 3);
+    const CompileResult res = compileWithPairs(
+        c, Topology::grid(4), kLib, {{0, 1}}, false);
+    EXPECT_EQ(res.metrics.numEncodedUnits, 1);
+}
+
+} // namespace
+} // namespace qompress

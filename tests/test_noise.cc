@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Monte-Carlo cross-validation of the analytic EPS model: the
+ * trajectory sampler (independent bookkeeping) must agree with
+ * computeMetrics() within statistical error, including FQ's
+ * mid-circuit encode/decode occupancy changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/arithmetic.hh"
+#include "circuits/cnu.hh"
+#include "common/error.hh"
+#include "sim/noise.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+
+void
+expectAgreement(const CompileResult &res, const GateLibrary &lib,
+                const char *label)
+{
+    NoiseSimOptions opts;
+    opts.trials = 40000;
+    const NoiseSimResult sim = sampleEps(res.compiled, lib, opts);
+    const double analytic = res.metrics.totalEps;
+    EXPECT_NEAR(sim.empiricalEps, analytic,
+                5.0 * sim.standardError + 1e-3)
+        << label << ": analytic " << analytic << " vs empirical "
+        << sim.empiricalEps << " +- " << sim.standardError;
+}
+
+TEST(NoiseSim, MatchesAnalyticQubitOnly)
+{
+    const Circuit c = cuccaroAdder(3);
+    const auto res = makeStrategy("qubit_only")
+                         ->compile(c, Topology::grid(8), kLib);
+    expectAgreement(res, kLib, "qubit_only");
+}
+
+TEST(NoiseSim, MatchesAnalyticEqm)
+{
+    const Circuit c = cuccaroAdder(3);
+    const auto res =
+        makeStrategy("eqm")->compile(c, Topology::grid(8), kLib);
+    expectAgreement(res, kLib, "eqm");
+}
+
+TEST(NoiseSim, MatchesAnalyticFqWithEncodeDecode)
+{
+    // FQ exercises the occupancy-change path (ENC/DEC mid-circuit).
+    Circuit c(6, "fq_noise");
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(1, 2);
+    c.cx(3, 4);
+    c.cx(4, 5);
+    const auto res =
+        makeStrategy("fq")->compile(c, Topology::grid(9), kLib);
+    expectAgreement(res, kLib, "fq");
+}
+
+TEST(NoiseSim, MatchesWithScaledT1)
+{
+    GateLibrary lib = kLib;
+    lib.setT1(10.0 * lib.t1Qubit(), 10.0 * lib.t1Ququart());
+    const Circuit c = generalizedToffoli(4);
+    const auto res =
+        makeStrategy("rb")->compile(c, Topology::grid(7), lib);
+    expectAgreement(res, lib, "rb_scaled_t1");
+}
+
+TEST(NoiseSim, StandardErrorShrinksWithTrials)
+{
+    const Circuit c = cuccaroAdder(2);
+    const auto res =
+        makeStrategy("eqm")->compile(c, Topology::grid(6), kLib);
+    NoiseSimOptions small;
+    small.trials = 1000;
+    NoiseSimOptions large;
+    large.trials = 16000;
+    const auto a = sampleEps(res.compiled, kLib, small);
+    const auto b = sampleEps(res.compiled, kLib, large);
+    EXPECT_LT(b.standardError, a.standardError);
+}
+
+TEST(NoiseSim, DeterministicForSeed)
+{
+    const Circuit c = cuccaroAdder(2);
+    const auto res =
+        makeStrategy("eqm")->compile(c, Topology::grid(6), kLib);
+    NoiseSimOptions opts;
+    opts.trials = 2000;
+    opts.seed = 123;
+    const auto a = sampleEps(res.compiled, kLib, opts);
+    const auto b = sampleEps(res.compiled, kLib, opts);
+    EXPECT_DOUBLE_EQ(a.empiricalEps, b.empiricalEps);
+}
+
+TEST(NoiseSim, RejectsUnscheduledCircuit)
+{
+    CompiledCircuit raw(Layout(1, 1), "raw");
+    PhysGate g;
+    g.cls = PhysGateClass::SqBare;
+    g.slots = {0};
+    raw.add(g); // never scheduled: zero duration/fidelity
+    EXPECT_THROW(sampleEps(raw, kLib), FatalError);
+}
+
+} // namespace
+} // namespace qompress

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 front end: parsing, expression
+ * evaluation, error reporting, and the dump/parse round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/arithmetic.hh"
+#include "circuits/registry.hh"
+#include "common/error.hh"
+#include "ir/qasm.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Qasm, ParsesBasicProgram)
+{
+    const Circuit c = parseQasm(R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0], q[1];
+        ccx q[0], q[1], q[2];
+        measure q[0] -> c[0];
+    )");
+    EXPECT_EQ(c.numQubits(), 3);
+    ASSERT_EQ(c.numGates(), 3); // measure ignored
+    EXPECT_EQ(c.gates()[0].type, GateType::H);
+    EXPECT_EQ(c.gates()[1].type, GateType::CX);
+    EXPECT_EQ(c.gates()[2].type, GateType::CCX);
+}
+
+TEST(Qasm, ParsesParameters)
+{
+    const Circuit c = parseQasm(R"(
+        OPENQASM 2.0;
+        qreg q[1];
+        rz(0.5) q[0];
+        rx(pi/2) q[0];
+        ry(-pi/4) q[0];
+        rz(2*pi) q[0];
+        rx(1e-3) q[0];
+        rz((pi + 1) / 2) q[0];
+    )");
+    ASSERT_EQ(c.numGates(), 6);
+    EXPECT_DOUBLE_EQ(c.gates()[0].param, 0.5);
+    EXPECT_DOUBLE_EQ(c.gates()[1].param, M_PI / 2);
+    EXPECT_DOUBLE_EQ(c.gates()[2].param, -M_PI / 4);
+    EXPECT_DOUBLE_EQ(c.gates()[3].param, 2 * M_PI);
+    EXPECT_DOUBLE_EQ(c.gates()[4].param, 1e-3);
+    EXPECT_DOUBLE_EQ(c.gates()[5].param, (M_PI + 1) / 2);
+}
+
+TEST(Qasm, CommentsAndWhitespace)
+{
+    const Circuit c = parseQasm(
+        "OPENQASM 2.0; // header\n"
+        "qreg q[2]; // two qubits\n"
+        "// a full-line comment\n"
+        "   h   q[ 0 ] ;\n"
+        "cx q[0],q[1];\n");
+    EXPECT_EQ(c.numGates(), 2);
+}
+
+TEST(Qasm, ErrorsCarryLineNumbers)
+{
+    try {
+        parseQasm("OPENQASM 2.0;\nqreg q[2];\nbadgate q[0];\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Qasm, RejectsOutOfRangeQubit)
+{
+    EXPECT_THROW(
+        parseQasm("OPENQASM 2.0; qreg q[2]; cx q[0], q[5];"),
+        FatalError);
+}
+
+TEST(Qasm, RejectsMissingHeader)
+{
+    EXPECT_THROW(parseQasm("qreg q[2];"), FatalError);
+}
+
+TEST(Qasm, RejectsGateBeforeQreg)
+{
+    EXPECT_THROW(parseQasm("OPENQASM 2.0; h q[0]; qreg q[2];"),
+                 FatalError);
+}
+
+TEST(Qasm, RejectsParamOnFixedGate)
+{
+    EXPECT_THROW(
+        parseQasm("OPENQASM 2.0; qreg q[1]; h(0.5) q[0];"),
+        FatalError);
+    EXPECT_THROW(
+        parseQasm("OPENQASM 2.0; qreg q[1]; rz q[0];"),
+        FatalError);
+}
+
+TEST(Qasm, RejectsUnknownRegister)
+{
+    EXPECT_THROW(
+        parseQasm("OPENQASM 2.0; qreg q[2]; cx r[0], q[1];"),
+        FatalError);
+}
+
+TEST(Qasm, RoundTripThroughDump)
+{
+    // Every benchmark family must survive toQasm -> parseQasm.
+    for (const auto &family : benchmarkFamilies()) {
+        const Circuit original =
+            family.make(std::max(family.minQubits, 10));
+        const Circuit reparsed = parseQasm(original.toQasm(),
+                                           original.name());
+        ASSERT_EQ(reparsed.numQubits(), original.numQubits())
+            << family.name;
+        ASSERT_EQ(reparsed.numGates(), original.numGates())
+            << family.name;
+        for (int i = 0; i < original.numGates(); ++i) {
+            EXPECT_EQ(reparsed.gates()[i].type,
+                      original.gates()[i].type);
+            EXPECT_EQ(reparsed.gates()[i].qubits,
+                      original.gates()[i].qubits);
+            EXPECT_NEAR(reparsed.gates()[i].param,
+                        original.gates()[i].param, 1e-9);
+        }
+    }
+}
+
+TEST(Qasm, FileNotFound)
+{
+    EXPECT_THROW(parseQasmFile("/nonexistent/file.qasm"), FatalError);
+}
+
+} // namespace
+} // namespace qompress

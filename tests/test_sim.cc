@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the mixed-radix statevector simulator and gate unitaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/gate_unitaries.hh"
+#include "sim/statevector.hh"
+
+namespace qompress {
+namespace {
+
+TEST(Statevector, InitialStateIsZero)
+{
+    MixedRadixState s({2, 4});
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_NEAR(std::abs(s.amp(0)), 1.0, 1e-12);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, DigitsAndIndexRoundTrip)
+{
+    MixedRadixState s({2, 4, 3});
+    const std::size_t idx = s.indexOf({1, 3, 2});
+    EXPECT_EQ(s.digit(idx, 0), 1);
+    EXPECT_EQ(s.digit(idx, 1), 3);
+    EXPECT_EQ(s.digit(idx, 2), 2);
+}
+
+TEST(Statevector, ProductStateAmplitudes)
+{
+    const double s2 = 1.0 / std::sqrt(2.0);
+    auto st = MixedRadixState::product({{s2, s2}, {0.0, 1.0}});
+    EXPECT_NEAR(std::abs(st.amp(st.indexOf({0, 1}))), s2, 1e-12);
+    EXPECT_NEAR(std::abs(st.amp(st.indexOf({1, 1}))), s2, 1e-12);
+    EXPECT_NEAR(std::abs(st.amp(st.indexOf({0, 0}))), 0.0, 1e-12);
+}
+
+TEST(Statevector, ApplyXFlipsBit)
+{
+    MixedRadixState s({2, 2});
+    s.applyUnitary({1}, gate1q(GateType::X));
+    EXPECT_NEAR(std::abs(s.amp(s.indexOf({0, 1}))), 1.0, 1e-12);
+}
+
+TEST(Statevector, ApplyPreservesNorm)
+{
+    MixedRadixState s({2, 4});
+    s.applyUnitary({0}, gate1q(GateType::H));
+    Gate cx{GateType::CX, {0, 1}};
+    // Apply CX onto encoded pos-0 of the second unit.
+    PhysGate pg;
+    pg.cls = PhysGateClass::CxBareEnc0;
+    pg.slots = {makeSlot(0, 0), makeSlot(1, 0)};
+    pg.logical = GateType::CX;
+    s.applyUnitary({0, 1}, physGateUnitary(pg, {2, 4}, {false, true}));
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, OverlapOfIdenticalStatesIsOne)
+{
+    MixedRadixState a({2, 2}), b({2, 2});
+    a.applyUnitary({0}, gate1q(GateType::H));
+    b.applyUnitary({0}, gate1q(GateType::H));
+    EXPECT_NEAR(MixedRadixState::overlap(a, b), 1.0, 1e-12);
+}
+
+TEST(GateUnitaries, OneQubitGatesAreUnitary)
+{
+    for (GateType t : {GateType::X, GateType::Y, GateType::Z,
+                       GateType::H, GateType::S, GateType::Sdg,
+                       GateType::T, GateType::Tdg}) {
+        EXPECT_TRUE(isUnitary(gate1q(t))) << gateName(t);
+    }
+    EXPECT_TRUE(isUnitary(gate1q(GateType::RZ, 0.7)));
+    EXPECT_TRUE(isUnitary(gate1q(GateType::RX, 1.3)));
+    EXPECT_TRUE(isUnitary(gate1q(GateType::RY, -0.4)));
+}
+
+TEST(GateUnitaries, SAndTRelations)
+{
+    // S = T^2 and S * Sdg = I.
+    const auto t = gate1q(GateType::T);
+    const auto s = gate1q(GateType::S);
+    EXPECT_NEAR(std::abs(t[1][1] * t[1][1] - s[1][1]), 0.0, 1e-12);
+    const auto sdg = gate1q(GateType::Sdg);
+    EXPECT_NEAR(std::abs(s[1][1] * sdg[1][1] - Cplx(1.0)), 0.0, 1e-12);
+}
+
+TEST(GateUnitaries, LogicalCcxPermutation)
+{
+    const auto m = logicalGateUnitary(Gate{GateType::CCX, {0, 1, 2}});
+    EXPECT_TRUE(isUnitary(m));
+    // |110> -> |111>, |111> -> |110>, |101> fixed.
+    EXPECT_NEAR(std::abs(m[7][6]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(m[6][7]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(m[5][5]), 1.0, 1e-12);
+}
+
+PhysGate
+makeGate(PhysGateClass cls, std::vector<SlotId> slots,
+         GateType logical = GateType::X)
+{
+    PhysGate g;
+    g.cls = cls;
+    g.slots = std::move(slots);
+    g.logical = logical;
+    return g;
+}
+
+TEST(GateUnitaries, AllTwoUnitClassesAreUnitary)
+{
+    struct Case
+    {
+        PhysGateClass cls;
+        std::vector<SlotId> slots; // units 0 and 1
+        std::vector<int> dims;
+        std::vector<bool> enc;
+    };
+    const std::vector<Case> cases = {
+        {PhysGateClass::CxBareBare,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {2, 2}, {false, false}},
+        {PhysGateClass::CxEnc0Bare,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {4, 2}, {true, false}},
+        {PhysGateClass::CxEnc1Bare,
+         {makeSlot(0, 1), makeSlot(1, 0)}, {4, 2}, {true, false}},
+        {PhysGateClass::CxBareEnc0,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {2, 4}, {false, true}},
+        {PhysGateClass::CxBareEnc1,
+         {makeSlot(0, 0), makeSlot(1, 1)}, {2, 4}, {false, true}},
+        {PhysGateClass::CxEnc00,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {4, 4}, {true, true}},
+        {PhysGateClass::CxEnc11,
+         {makeSlot(0, 1), makeSlot(1, 1)}, {4, 4}, {true, true}},
+        {PhysGateClass::SwapBareBare,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {2, 2}, {false, false}},
+        {PhysGateClass::SwapBareEnc0,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {2, 4}, {false, true}},
+        {PhysGateClass::SwapEnc01,
+         {makeSlot(0, 0), makeSlot(1, 1)}, {4, 4}, {true, true}},
+        {PhysGateClass::SwapFull,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {4, 4}, {true, true}},
+        {PhysGateClass::Encode,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {4, 2}, {false, false}},
+        {PhysGateClass::Decode,
+         {makeSlot(0, 0), makeSlot(1, 0)}, {4, 2}, {true, false}},
+    };
+    for (const auto &c : cases) {
+        const auto u = physGateUnitary(
+            makeGate(c.cls, c.slots, GateType::Swap), c.dims, c.enc);
+        EXPECT_TRUE(isUnitary(u)) << physGateClassName(c.cls);
+    }
+}
+
+TEST(GateUnitaries, InternalCxActsOnEncodedBits)
+{
+    // CX0: control = pos 0 (high bit), target = pos 1 (low bit).
+    const auto u = physGateUnitary(
+        makeGate(PhysGateClass::CxInternal0,
+                 {makeSlot(0, 0), makeSlot(0, 1)}, GateType::CX),
+        {4}, {true});
+    // |2> = (1,0) -> (1,1) = |3>.
+    EXPECT_NEAR(std::abs(u[3][2]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(u[0][0]), 1.0, 1e-12);
+}
+
+TEST(GateUnitaries, SwapInternalExchangesMiddleLevels)
+{
+    const auto u = physGateUnitary(
+        makeGate(PhysGateClass::SwapInternal,
+                 {makeSlot(0, 0), makeSlot(0, 1)}, GateType::Swap),
+        {4}, {true});
+    EXPECT_NEAR(std::abs(u[2][1]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(u[1][2]), 1.0, 1e-12);
+}
+
+TEST(GateUnitaries, EncodePermutationMatchesPaper)
+{
+    // |q0>_u |q1>_v -> |2 q0 + q1>_u |0>_v  (Eq. 2).
+    const auto u = physGateUnitary(
+        makeGate(PhysGateClass::Encode,
+                 {makeSlot(0, 0), makeSlot(1, 0)}, GateType::Swap),
+        {4, 2}, {false, false});
+    // Input (1,0) = index 1*2+0 = 2 -> output (2,0) = index 4.
+    EXPECT_NEAR(std::abs(u[4][2]), 1.0, 1e-12);
+    // Input (1,1) = 3 -> (3,0) = 6.
+    EXPECT_NEAR(std::abs(u[6][3]), 1.0, 1e-12);
+}
+
+TEST(GateUnitaries, DecodeInvertsEncode)
+{
+    const auto enc = physGateUnitary(
+        makeGate(PhysGateClass::Encode,
+                 {makeSlot(0, 0), makeSlot(1, 0)}, GateType::Swap),
+        {4, 2}, {false, false});
+    const auto dec = physGateUnitary(
+        makeGate(PhysGateClass::Decode,
+                 {makeSlot(0, 0), makeSlot(1, 0)}, GateType::Swap),
+        {4, 2}, {true, false});
+    // dec * enc == identity.
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j) {
+            Cplx acc = 0.0;
+            for (int k = 0; k < 8; ++k)
+                acc += dec[i][k] * enc[k][j];
+            EXPECT_NEAR(std::abs(acc - (i == j ? 1.0 : 0.0)), 0.0, 1e-12);
+        }
+    }
+}
+
+TEST(GateUnitaries, BareGateOnDim4UnitLeavesHighLevels)
+{
+    PhysGate g = makeGate(PhysGateClass::SqBare, {makeSlot(0, 0)},
+                          GateType::H);
+    const auto u = physGateUnitary(g, {4}, {false});
+    EXPECT_TRUE(isUnitary(u));
+    EXPECT_NEAR(std::abs(u[2][2]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(u[3][3]), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(u[0][0] - 1.0 / std::sqrt(2.0)), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace qompress

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the compression strategies (paper section 5) and the two
+ * baselines (section 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/arithmetic.hh"
+#include "circuits/bv.hh"
+#include "circuits/cnu.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "common/error.hh"
+#include "ir/passes.hh"
+#include "strategies/awe.hh"
+#include "strategies/exhaustive.hh"
+#include "strategies/full_ququart.hh"
+#include "strategies/progressive_pairing.hh"
+#include "strategies/ring_based.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+const CompilerConfig kCfg;
+
+void
+expectDisjointPairs(const std::vector<Compression> &pairs, int n)
+{
+    std::set<QubitId> seen;
+    for (const auto &p : pairs) {
+        EXPECT_NE(p.first, p.second);
+        EXPECT_GE(p.first, 0);
+        EXPECT_LT(p.first, n);
+        EXPECT_GE(p.second, 0);
+        EXPECT_LT(p.second, n);
+        EXPECT_TRUE(seen.insert(p.first).second);
+        EXPECT_TRUE(seen.insert(p.second).second);
+    }
+}
+
+TEST(Registry, StandardStrategiesAndLookup)
+{
+    const auto all = standardStrategies();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all[0]->name(), "qubit_only");
+    EXPECT_EQ(all[1]->name(), "fq");
+    EXPECT_EQ(makeStrategy("eqm")->name(), "eqm");
+    EXPECT_EQ(makeStrategy("ec")->name(), "ec");
+    EXPECT_THROW(makeStrategy("bogus"), FatalError);
+}
+
+TEST(QubitOnly, NeverCompresses)
+{
+    const Circuit c = cuccaroAdder(3);
+    const QubitOnlyStrategy s;
+    const CompileResult res = s.compile(c, Topology::grid(8), kLib);
+    EXPECT_TRUE(res.compressions.empty());
+    EXPECT_EQ(res.compiled.initialLayout().numEncodedUnits(), 0);
+}
+
+TEST(Eqm, CompressesWhenSpaceIsTight)
+{
+    const Circuit c = cuccaroAdder(3); // 8 qubits
+    const EqmStrategy s;
+    // Half-size device: EQM must encode at least 4 pairs.
+    const CompileResult res = s.compile(c, Topology::grid(4), kLib);
+    EXPECT_GE(static_cast<int>(res.compressions.size()), 4);
+}
+
+TEST(RingBased, FindsPairsInCycleHeavyCircuits)
+{
+    for (const Circuit &c :
+         {generalizedToffoli(4), cuccaroAdder(3)}) {
+        const RingBasedStrategy s;
+        const auto pairs = s.choosePairs(decomposeToNativeGates(c),
+                                         Topology::grid(c.numQubits()),
+                                         kLib, kCfg);
+        EXPECT_FALSE(pairs.empty()) << c.name();
+        expectDisjointPairs(pairs, c.numQubits());
+    }
+}
+
+TEST(RingBased, FindsNothingForBv)
+{
+    // BV's interaction graph is a star: no cycles, no compressions
+    // (exactly the paper's observation).
+    const Circuit c = decomposeToNativeGates(bernsteinVazirani(10));
+    const RingBasedStrategy s;
+    const auto pairs =
+        s.choosePairs(c, Topology::grid(10), kLib, kCfg);
+    EXPECT_TRUE(pairs.empty());
+}
+
+TEST(Awe, PairsAreDisjointAndTerminate)
+{
+    const Circuit c = decomposeToNativeGates(
+        qaoaFromGraph(cylinderGraph(3, 4)));
+    const AweStrategy s;
+    const auto pairs = s.choosePairs(c, Topology::grid(12), kLib, kCfg);
+    expectDisjointPairs(pairs, c.numQubits());
+}
+
+TEST(Awe, RaisesAverageEdgeWeight)
+{
+    const Circuit c = decomposeToNativeGates(
+        qaoaFromGraph(cylinderGraph(3, 4)));
+    const InteractionModel im(c);
+    Graph g = im.graph();
+    const double before = g.totalWeight() / g.numEdges();
+    const AweStrategy s;
+    const auto pairs = s.choosePairs(c, Topology::grid(12), kLib, kCfg);
+    if (!pairs.empty()) {
+        for (const auto &p : pairs)
+            g.contract(p.first, p.second);
+        const double after = g.totalWeight() / g.numEdges();
+        EXPECT_GT(after, before);
+    }
+}
+
+TEST(ProgressivePairing, ProducesValidPairs)
+{
+    const Circuit c = decomposeToNativeGates(cuccaroAdder(3));
+    const ProgressivePairingStrategy s;
+    const auto pairs =
+        s.choosePairs(c, Topology::grid(c.numQubits()), kLib, kCfg);
+    expectDisjointPairs(pairs, c.numQubits());
+}
+
+TEST(FullQuquart, PairsEveryQubit)
+{
+    const Circuit c = decomposeToNativeGates(cuccaroAdder(2)); // 6 qb
+    const FullQuquartStrategy s;
+    const auto pairs =
+        s.choosePairs(c, Topology::grid(6), kLib, kCfg);
+    EXPECT_EQ(pairs.size(), 3u);
+    expectDisjointPairs(pairs, 6);
+}
+
+TEST(FullQuquart, OddQubitLeftBare)
+{
+    Circuit c(5, "odd");
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(3, 4);
+    const FullQuquartStrategy s;
+    const auto pairs = s.choosePairs(c, Topology::grid(5), kLib, kCfg);
+    EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(FullQuquart, UsesEncodeDecodeAndSwap4)
+{
+    // Force external interactions between pairs.
+    Circuit c(6, "ext");
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(4, 5);
+    c.cx(1, 2); // external
+    c.cx(3, 4); // external
+    c.cx(0, 5); // external
+    const FullQuquartStrategy s;
+    const CompileResult res = s.compile(c, Topology::grid(9), kLib);
+    const auto hist = res.compiled.classHistogram();
+    EXPECT_GT(hist[static_cast<int>(PhysGateClass::Decode)], 0);
+    // Every mid-circuit decode has a matching re-encode; plus one
+    // initial encode per pair.
+    EXPECT_EQ(hist[static_cast<int>(PhysGateClass::Encode)],
+              hist[static_cast<int>(PhysGateClass::Decode)] + 3);
+}
+
+TEST(FullQuquart, WorseThanQubitOnlyOnRoutedCircuit)
+{
+    // The paper's headline observation: FQ loses to qubit-only.
+    const Circuit c = cuccaroAdder(4); // 10 qubits
+    const Topology topo = Topology::grid(10);
+    const auto fq = makeStrategy("fq")->compile(c, topo, kLib);
+    const auto qo = makeStrategy("qubit_only")->compile(c, topo, kLib);
+    EXPECT_LT(fq.metrics.gateEps, qo.metrics.gateEps);
+    EXPECT_LT(fq.metrics.totalEps, qo.metrics.totalEps);
+}
+
+TEST(Exhaustive, ImprovesOverQubitOnly)
+{
+    const Circuit c = generalizedToffoli(3); // 5 qubits, cycle-heavy
+    const Topology topo = Topology::grid(5);
+    const auto qo = makeStrategy("qubit_only")->compile(c, topo, kLib);
+    const auto ec = makeStrategy("ec")->compile(c, topo, kLib);
+    // Default metric is gate EPS (the paper's Figure 7 target).
+    EXPECT_GE(ec.metrics.gateEps, qo.metrics.gateEps);
+}
+
+TEST(Exhaustive, TraceRecordsMonotoneImprovement)
+{
+    const Circuit c = decomposeToNativeGates(generalizedToffoli(3));
+    const ExhaustiveStrategy s(true); // gate-EPS metric
+    std::vector<ExhaustiveStep> trace;
+    CompilerConfig cfg;
+    const auto pairs = s.choosePairsWithTrace(
+        c, Topology::grid(5), kLib, cfg, &trace);
+    EXPECT_EQ(trace.size(), pairs.size());
+    double prev = 0.0;
+    for (const auto &step : trace) {
+        EXPECT_GT(step.gateEps, prev);
+        prev = step.gateEps;
+        EXPECT_GE(step.group, 1);
+        EXPECT_LE(step.group, 3);
+    }
+}
+
+TEST(Exhaustive, TotalEpsMetricIsMonotoneInTotalEps)
+{
+    const Circuit c = decomposeToNativeGates(generalizedToffoli(3));
+    const ExhaustiveStrategy s(true, ExhaustiveMetric::TotalEps);
+    std::vector<ExhaustiveStep> trace;
+    CompilerConfig cfg;
+    s.choosePairsWithTrace(c, Topology::grid(5), kLib, cfg, &trace);
+    double prev = 0.0;
+    for (const auto &step : trace) {
+        EXPECT_GT(step.totalEps, prev);
+        prev = step.totalEps;
+    }
+}
+
+TEST(Exhaustive, TotalEpsMetricAcceptsFewerPairs)
+{
+    // At the worst-case 1:3 T1 ratio the coherence veto can only
+    // reduce the accepted compression set (paper Figure 12 logic).
+    const Circuit c = decomposeToNativeGates(generalizedToffoli(4));
+    CompilerConfig cfg;
+    const ExhaustiveStrategy gate(true, ExhaustiveMetric::GateEps);
+    const ExhaustiveStrategy total(true, ExhaustiveMetric::TotalEps);
+    const auto pg =
+        gate.choosePairs(c, Topology::grid(7), kLib, cfg);
+    const auto pt =
+        total.choosePairs(c, Topology::grid(7), kLib, cfg);
+    EXPECT_LE(pt.size(), pg.size());
+}
+
+TEST(Exhaustive, UnorderedUsesSingleGroup)
+{
+    const Circuit c = decomposeToNativeGates(generalizedToffoli(3));
+    const ExhaustiveStrategy s(false);
+    std::vector<ExhaustiveStep> trace;
+    CompilerConfig cfg;
+    s.choosePairsWithTrace(c, Topology::grid(5), kLib, cfg, &trace);
+    for (const auto &step : trace)
+        EXPECT_EQ(step.group, 0);
+}
+
+TEST(Strategies, EqmBeatsQubitOnlyOnCnu)
+{
+    // The paper's strongest result: EQM gains >50% gate EPS on CNU.
+    const Circuit c = generalizedToffoli(6); // 11 qubits
+    const Topology topo = Topology::grid(11);
+    const auto qo = makeStrategy("qubit_only")->compile(c, topo, kLib);
+    const auto eqm = makeStrategy("eqm")->compile(c, topo, kLib);
+    EXPECT_GT(eqm.metrics.gateEps, qo.metrics.gateEps);
+}
+
+TEST(Strategies, AllStandardCompileCnuAndValidate)
+{
+    const Circuit c = generalizedToffoli(4); // 7 qubits
+    const Topology topo = Topology::grid(7);
+    for (const auto &s : standardStrategies()) {
+        const CompileResult res = s->compile(c, topo, kLib);
+        EXPECT_GT(res.metrics.totalEps, 0.0) << s->name();
+        EXPECT_GT(res.metrics.durationNs, 0.0) << s->name();
+        validateCompiled(res.compiled, topo);
+    }
+}
+
+} // namespace
+} // namespace qompress
