@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Hot-path benchmark: times the three compute-heavy loops of the
+ * toolchain -- mixed-radix statevector gate application, one GRAPE
+ * gradient iteration, and SWAP routing over the expanded graph --
+ * against the retained naive reference kernels in the same binary,
+ * and emits machine-readable JSON (the BENCH_*.json trajectory;
+ * compare runs with tools/bench_diff.py).
+ *
+ * Flags:
+ *   --check      differential mode: assert optimized kernels agree
+ *                with references (1e-10) and that a warm GRAPE
+ *                gradient step performs zero heap allocations; exits
+ *                nonzero on violation. Registered under ctest label
+ *                "bench".
+ *   --quick      smaller repetition counts.
+ *   --out=FILE   also write the JSON to FILE.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "circuits/bv.hh"
+#include "common/rng.hh"
+#include "compiler/pipeline.hh"
+#include "ir/passes.hh"
+#include "pulse/grape.hh"
+#include "pulse/hamiltonian.hh"
+#include "pulse/targets.hh"
+#include "sim/statevector.hh"
+
+// ------------------------------------------------------------------
+// Allocation-counting hook: every global operator new bumps a counter
+// so the bench can assert that the GRAPE inner loop is allocation-free
+// once its workspace is warm.
+// ------------------------------------------------------------------
+
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace qompress;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One gate in the statevector workload. */
+struct SimGate
+{
+    std::vector<int> units;
+    GateMatrix u;
+};
+
+/** A representative mixed-radix workload on a 10-qudit state:
+ *  single-qudit gates on every unit plus two-qudit gates on every
+ *  adjacent pair (k = 4, 8, 16 depending on dims). */
+std::vector<SimGate>
+simWorkload(const std::vector<int> &dims, Rng &rng)
+{
+    std::vector<SimGate> gates;
+    const int n = static_cast<int>(dims.size());
+    for (int u = 0; u < n; ++u) {
+        gates.push_back(
+            {{u}, bench::randomUnitary(static_cast<std::size_t>(dims[u]), rng)});
+    }
+    for (int u = 0; u + 1 < n; ++u) {
+        const std::size_t k =
+            static_cast<std::size_t>(dims[u]) * dims[u + 1];
+        gates.push_back({{u, u + 1}, bench::randomUnitary(k, rng)});
+    }
+    return gates;
+}
+
+struct SimResult
+{
+    double optimized_ms;
+    double naive_ms;
+    double max_diff;
+};
+
+SimResult
+benchStatevector(int reps)
+{
+    Rng rng(12345);
+    const std::vector<int> dims = {4, 2, 4, 2, 4, 2, 4, 2, 4, 2};
+    const auto gates = simWorkload(dims, rng);
+
+    // Start both kernels from the same random product state.
+    MixedRadixState fast = bench::randomState(dims, rng);
+    MixedRadixState slow = fast;
+
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        for (const auto &g : gates)
+            fast.applyUnitary(g.units, g.u);
+    const double opt_s = secondsSince(t0);
+
+    const auto t1 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        for (const auto &g : gates)
+            slow.applyUnitaryNaive(g.units, g.u);
+    const double naive_s = secondsSince(t1);
+
+    return {1e3 * opt_s / reps, 1e3 * naive_s / reps,
+            bench::maxAmpDiff(fast, slow)};
+}
+
+struct GrapeBenchResult
+{
+    double optimized_ms;
+    double naive_ms;
+    double max_grad_diff;
+    std::uint64_t warm_allocs;
+};
+
+GrapeBenchResult
+benchGrape(int reps)
+{
+    std::vector<int> dims;
+    const CMatrix target = namedTarget("CX2", dims);
+    const TransmonSystem system(dims, /*guard_levels=*/1);
+    GrapeOptions opts;
+    GrapeOptimizer grape(system, target, /*duration_ns=*/160.0,
+                         /*segments=*/40, opts);
+
+    Rng rng(99);
+    std::vector<std::vector<double>> controls(
+        grape.numControls(),
+        std::vector<double>(grape.segments(), 0.0));
+    const double amp = 0.25 * system.maxAmplitude();
+    for (auto &row : controls)
+        for (auto &v : row)
+            v = rng.nextDouble(-amp, amp);
+
+    GrapeWorkspace ws;
+    std::vector<std::vector<double>> grad, grad_naive;
+    double fid = 0.0, leak = 0.0;
+
+    // Warm-up sizes every workspace buffer; afterwards a gradient
+    // step must not touch the heap.
+    grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+    const std::uint64_t warm_allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+    const double opt_s = secondsSince(t0);
+
+    const auto t1 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        grape.objectiveAndGradientNaive(controls, grad_naive, fid, leak);
+    const double naive_s = secondsSince(t1);
+
+    double worst = 0.0;
+    for (std::size_t k = 0; k < grad.size(); ++k)
+        for (std::size_t j = 0; j < grad[k].size(); ++j)
+            worst = std::max(worst,
+                             std::abs(grad[k][j] - grad_naive[k][j]));
+
+    return {1e3 * opt_s / reps, 1e3 * naive_s / reps, worst,
+            warm_allocs};
+}
+
+struct RouteBenchResult
+{
+    double cached_ms;
+    double uncached_ms;
+    bool identical;
+    std::uint64_t gates;
+};
+
+bool
+sameGates(const CompiledCircuit &a, const CompiledCircuit &b)
+{
+    if (a.numGates() != b.numGates())
+        return false;
+    for (int i = 0; i < a.numGates(); ++i) {
+        const PhysGate &x = a.gates()[i];
+        const PhysGate &y = b.gates()[i];
+        if (x.cls != y.cls || x.slots != y.slots ||
+            x.logical != y.logical || x.param != y.param ||
+            x.isRouting != y.isRouting)
+            return false;
+    }
+    return true;
+}
+
+RouteBenchResult
+benchRouting(int reps)
+{
+    const Circuit bv = decomposeToNativeGates(bernsteinVazirani(20));
+    const Topology topo = Topology::grid(20);
+    const GateLibrary lib;
+    const ExpandedGraph xg(topo);
+    const CostModel cost(xg, lib);
+    const InteractionModel im(bv);
+
+    MapperOptions mopts;
+    const Layout initial = mapCircuit(bv, im, cost, mopts);
+
+    RouterOptions cached_opts;
+    cached_opts.lookaheadWeight = 0.5; // exercise the lookahead field
+    cached_opts.useDistanceCache = true;
+    RouterOptions uncached_opts = cached_opts;
+    uncached_opts.useDistanceCache = false;
+
+    auto route = [&](const RouterOptions &ropts) {
+        Layout layout = initial;
+        CompiledCircuit out(layout, "bv20");
+        routeCircuit(bv, layout, cost, out, ropts);
+        return out;
+    };
+
+    const auto t0 = Clock::now();
+    CompiledCircuit cached_out;
+    for (int r = 0; r < reps; ++r)
+        cached_out = route(cached_opts);
+    const double cached_s = secondsSince(t0);
+
+    const auto t1 = Clock::now();
+    CompiledCircuit uncached_out;
+    for (int r = 0; r < reps; ++r)
+        uncached_out = route(uncached_opts);
+    const double uncached_s = secondsSince(t1);
+
+    return {1e3 * cached_s / reps, 1e3 * uncached_s / reps,
+            sameGates(cached_out, uncached_out),
+            static_cast<std::uint64_t>(cached_out.numGates())};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using qompress::bench::parseArgs;
+    const auto args = parseArgs(argc, argv);
+    const bool check = args.has("--check");
+    std::string out_path;
+    for (const auto &e : args.extra) {
+        if (e.rfind("--out=", 0) == 0)
+            out_path = e.substr(6);
+    }
+
+    const int sim_reps = check ? 3 : (args.quick ? 10 : 40);
+    const int grape_reps = check ? 2 : (args.quick ? 5 : 20);
+    const int route_reps = check ? 1 : (args.quick ? 3 : 10);
+
+    const SimResult sim = benchStatevector(sim_reps);
+    const GrapeBenchResult gr = benchGrape(grape_reps);
+    const RouteBenchResult rt = benchRouting(route_reps);
+
+    const double sim_speedup =
+        sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
+    const double grape_speedup =
+        gr.optimized_ms > 0.0 ? gr.naive_ms / gr.optimized_ms : 0.0;
+    const double route_speedup =
+        rt.cached_ms > 0.0 ? rt.uncached_ms / rt.cached_ms : 0.0;
+
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"bench\": \"hotpaths\",\n"
+        "  \"metrics\": {\n"
+        "    \"statevector_apply_ms\": %.4f,\n"
+        "    \"statevector_naive_ms\": %.4f,\n"
+        "    \"statevector_speedup\": %.3f,\n"
+        "    \"statevector_max_diff\": %.3e,\n"
+        "    \"grape_gradient_ms\": %.4f,\n"
+        "    \"grape_gradient_naive_ms\": %.4f,\n"
+        "    \"grape_speedup\": %.3f,\n"
+        "    \"grape_max_grad_diff\": %.3e,\n"
+        "    \"grape_warm_allocs\": %llu,\n"
+        "    \"route_bv20_cached_ms\": %.4f,\n"
+        "    \"route_bv20_uncached_ms\": %.4f,\n"
+        "    \"route_speedup\": %.3f,\n"
+        "    \"route_gates\": %llu,\n"
+        "    \"route_identical\": %s\n"
+        "  }\n"
+        "}\n",
+        sim.optimized_ms, sim.naive_ms, sim_speedup, sim.max_diff,
+        gr.optimized_ms, gr.naive_ms, grape_speedup, gr.max_grad_diff,
+        static_cast<unsigned long long>(gr.warm_allocs), rt.cached_ms,
+        rt.uncached_ms, route_speedup,
+        static_cast<unsigned long long>(rt.gates),
+        rt.identical ? "true" : "false");
+    std::cout << buf;
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        out << buf;
+        if (!out) {
+            std::cerr << "error: cannot write '" << out_path << "'\n";
+            return 1;
+        }
+    }
+
+    if (check) {
+        int failures = 0;
+        auto expect = [&](bool ok, const char *what) {
+            std::cerr << (ok ? "PASS: " : "FAIL: ") << what << '\n';
+            if (!ok)
+                ++failures;
+        };
+        expect(sim.max_diff <= 1e-10,
+               "applyUnitary agrees with naive kernel to 1e-10");
+        expect(gr.max_grad_diff <= 1e-10,
+               "GRAPE gradient agrees with naive reference to 1e-10");
+        expect(gr.warm_allocs == 0,
+               "warm GRAPE gradient step performs zero heap "
+               "allocations");
+        expect(rt.identical,
+               "cached and uncached routing emit identical circuits");
+        return failures == 0 ? 0 : 1;
+    }
+    return 0;
+}

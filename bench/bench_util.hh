@@ -11,13 +11,16 @@
 #ifndef QOMPRESS_BENCH_BENCH_UTIL_HH
 #define QOMPRESS_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
+#include "sim/statevector.hh"
 
 namespace qompress::bench {
 
@@ -96,6 +99,66 @@ banner(const std::string &title, const std::string &paper_ref)
     std::cout << "=== " << title << " ===\n"
               << paper_ref << "\n\n";
 }
+
+/** @name Randomized mixed-radix fixtures shared by bench_hotpaths and
+ *  the differential tests. @{ */
+
+/** Haar-ish random k x k unitary via Gram-Schmidt of a Gaussian
+ *  matrix -- enough structure to exercise dense kernels. */
+inline GateMatrix
+randomUnitary(std::size_t k, Rng &rng)
+{
+    GateMatrix m(k);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            m[r][c] = Cplx(rng.nextGaussian(), rng.nextGaussian());
+    for (std::size_t c = 0; c < k; ++c) {
+        for (std::size_t prev = 0; prev < c; ++prev) {
+            Cplx dot = 0.0;
+            for (std::size_t r = 0; r < k; ++r)
+                dot += std::conj(m[r][prev]) * m[r][c];
+            for (std::size_t r = 0; r < k; ++r)
+                m[r][c] -= dot * m[r][prev];
+        }
+        double norm = 0.0;
+        for (std::size_t r = 0; r < k; ++r)
+            norm += std::norm(m[r][c]);
+        norm = std::sqrt(norm);
+        for (std::size_t r = 0; r < k; ++r)
+            m[r][c] /= norm;
+    }
+    return m;
+}
+
+/** Random normalized product state over the given dimensions. */
+inline MixedRadixState
+randomState(const std::vector<int> &dims, Rng &rng)
+{
+    std::vector<std::vector<Cplx>> unit_states;
+    for (int d : dims) {
+        std::vector<Cplx> s(static_cast<std::size_t>(d));
+        double norm = 0.0;
+        for (auto &amp : s) {
+            amp = Cplx(rng.nextGaussian(), rng.nextGaussian());
+            norm += std::norm(amp);
+        }
+        for (auto &amp : s)
+            amp /= std::sqrt(norm);
+        unit_states.push_back(std::move(s));
+    }
+    return MixedRadixState::product(unit_states);
+}
+
+/** Largest elementwise amplitude deviation between two states. */
+inline double
+maxAmpDiff(const MixedRadixState &a, const MixedRadixState &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a.amp(i) - b.amp(i)));
+    return worst;
+}
+/** @} */
 
 } // namespace qompress::bench
 

@@ -86,4 +86,39 @@ CostModel::routingDistances(SlotId source, const Layout &layout) const
         });
 }
 
+const ShortestPaths &
+DistanceFieldCache::routing(SlotId source, const Layout &layout)
+{
+    Entry &e = routing_[source];
+    if (e.field.dist.empty() || e.version != layout.costVersion()) {
+        e.field = cost_->routingDistances(source, layout);
+        e.version = layout.costVersion();
+        ++misses_;
+    } else {
+        ++hits_;
+    }
+    return e.field;
+}
+
+const ShortestPaths &
+DistanceFieldCache::mapping(SlotId source, const Layout &layout)
+{
+    Entry &e = mapping_[source];
+    if (e.field.dist.empty() || e.version != layout.costVersion()) {
+        e.field = cost_->mappingDistances(source, layout);
+        e.version = layout.costVersion();
+        ++misses_;
+    } else {
+        ++hits_;
+    }
+    return e.field;
+}
+
+void
+DistanceFieldCache::clear()
+{
+    routing_.clear();
+    mapping_.clear();
+}
+
 } // namespace qompress

@@ -8,6 +8,9 @@
 #ifndef QOMPRESS_COMPILER_COST_MODEL_HH
 #define QOMPRESS_COMPILER_COST_MODEL_HH
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "arch/expanded_graph.hh"
 #include "arch/gate_library.hh"
 #include "compiler/layout.hh"
@@ -74,6 +77,56 @@ class CostModel
     const ExpandedGraph *xg_;
     const GateLibrary *lib_;
     double penalty_;
+};
+
+/**
+ * Memoized Dijkstra distance fields keyed on (source slot, layout cost
+ * version).
+ *
+ * Edge costs depend on the layout only through slot occupancy, which
+ * routing SWAPs (occupied <-> occupied exchanges) never change -- so
+ * during a routing round every plan field and lookahead field hits the
+ * cache instead of re-running Dijkstra from scratch. A field is
+ * recomputed exactly when the layout's costVersion() moved past the
+ * version it was cached at (i.e. a place/remove/ENC-style mutation
+ * actually perturbed the costs).
+ *
+ * The cache must not outlive mutations of the underlying GateLibrary's
+ * durations/fidelities (sensitivity sweeps): those change edge costs
+ * without bumping any layout version. Scope one cache per routing (or
+ * mapping) pass, as routeCircuit does.
+ */
+class DistanceFieldCache
+{
+  public:
+    explicit DistanceFieldCache(const CostModel &cost) : cost_(&cost) {}
+
+    /** Cached CostModel::routingDistances. The reference stays valid
+     *  until the entry for @p source is invalidated or clear(). */
+    const ShortestPaths &routing(SlotId source, const Layout &layout);
+
+    /** Cached CostModel::mappingDistances. */
+    const ShortestPaths &mapping(SlotId source, const Layout &layout);
+
+    void clear();
+
+    /** @name Effectiveness counters (reported by bench_hotpaths). @{ */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::uint64_t version = 0;
+        ShortestPaths field;
+    };
+
+    const CostModel *cost_;
+    std::unordered_map<SlotId, Entry> routing_;
+    std::unordered_map<SlotId, Entry> mapping_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
 };
 
 } // namespace qompress

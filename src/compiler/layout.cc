@@ -43,6 +43,7 @@ Layout::place(QubitId q, SlotId slot)
     QPANIC_IF(qubitAt(slot) != kInvalid, "place: slot ", slot, " occupied");
     qubitToSlot_[q] = slot;
     slotToQubit_[slot] = q;
+    ++costVersion_;
 }
 
 void
@@ -52,6 +53,7 @@ Layout::remove(QubitId q)
     QPANIC_IF(s == kInvalid, "remove: qubit ", q, " not mapped");
     qubitToSlot_[q] = kInvalid;
     slotToQubit_[s] = kInvalid;
+    ++costVersion_;
 }
 
 void
@@ -67,6 +69,10 @@ Layout::swapSlots(SlotId a, SlotId b)
         qubitToSlot_[qa] = b;
     if (qb != kInvalid)
         qubitToSlot_[qb] = a;
+    // Occupancy (hence every encoding state and edge cost) changes
+    // only when exactly one side was occupied.
+    if ((qa == kInvalid) != (qb == kInvalid))
+        ++costVersion_;
 }
 
 bool

@@ -7,6 +7,7 @@
 #ifndef QOMPRESS_COMPILER_LAYOUT_HH
 #define QOMPRESS_COMPILER_LAYOUT_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
@@ -66,9 +67,21 @@ class Layout
     /** Number of encoded (two-qubit) units. */
     int numEncodedUnits() const;
 
+    /**
+     * Monotonic counter of mutations that can change routing/mapping
+     * edge costs. Costs depend on the layout only through slot
+     * occupancy (and the derived encoded state), so it bumps on
+     * place/remove and on swapSlots between an occupied and an empty
+     * slot -- but NOT on the occupied-occupied exchanges routing
+     * performs, which leave every edge cost intact. DistanceFieldCache
+     * keys its Dijkstra fields on this version.
+     */
+    std::uint64_t costVersion() const { return costVersion_; }
+
   private:
     std::vector<SlotId> qubitToSlot_;
     std::vector<QubitId> slotToQubit_;
+    std::uint64_t costVersion_ = 0;
 };
 
 } // namespace qompress

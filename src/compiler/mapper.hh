@@ -25,7 +25,10 @@ struct Compression
     QubitId first;
     QubitId second;
 
-    bool operator==(const Compression &o) const = default;
+    bool operator==(const Compression &o) const
+    {
+        return first == o.first && second == o.second;
+    }
 };
 
 /** Placement policy knobs. */

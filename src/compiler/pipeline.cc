@@ -55,6 +55,7 @@ compileWithPairs(const Circuit &circuit, const Topology &topo,
 
     RouterOptions ropts;
     ropts.lookaheadWeight = cfg.lookaheadWeight;
+    ropts.useDistanceCache = cfg.useDistanceCache;
     routeCircuit(native, layout, cost, result.compiled, ropts);
     scheduleCompiled(result.compiled, lib);
     if (cfg.validate)

@@ -30,6 +30,10 @@ struct CompilerConfig
     /** Router lookahead weight (0 = off); see RouterOptions. */
     double lookaheadWeight = 0.0;
 
+    /** Reuse routing distance fields across rounds; see
+     *  RouterOptions::useDistanceCache. */
+    bool useDistanceCache = true;
+
     /** Run the structural validator on every compile (cheap; the
      *  exhaustive strategy turns it off in its inner loop). */
     bool validate = true;

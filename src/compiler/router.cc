@@ -59,8 +59,8 @@ emitSwap(CompiledCircuit &out, Layout &layout, SlotId a, SlotId b,
  *         after this gate (kInvalid when none); used by lookahead. */
 void
 routeTwoQubitGate(const Gate &g, int gate_idx, Layout &layout,
-                  const CostModel &cost, CompiledCircuit &out,
-                  const RouterOptions &ropts,
+                  const CostModel &cost, DistanceFieldCache &cache,
+                  CompiledCircuit &out, const RouterOptions &ropts,
                   const std::function<QubitId(QubitId)> &next_partner)
 {
     const ExpandedGraph &xg = cost.expanded();
@@ -88,21 +88,31 @@ routeTwoQubitGate(const Gate &g, int gate_idx, Layout &layout,
             double total = ShortestPaths::kInf;
             std::vector<int> path; // slots from source to meeting slot
         };
+        // Fetch a distance field either from the cache (hot path) or
+        // freshly (the differential baseline). `holder` keeps the
+        // uncached copy alive.
+        auto get_field = [&](SlotId source,
+                             ShortestPaths &holder) -> const ShortestPaths & {
+            if (ropts.useDistanceCache)
+                return cache.routing(source, layout);
+            holder = cost.routingDistances(source, layout);
+            return holder;
+        };
         auto plan_move = [&](SlotId from, SlotId toward,
                              bool moving_ctl) {
             Plan plan;
-            const auto field = cost.routingDistances(from, layout);
+            ShortestPaths field_holder;
+            const ShortestPaths &field = get_field(from, field_holder);
             // Lookahead: keep the moved qubit close to whoever it
             // interacts with next.
             const QubitId mover = layout.qubitAt(from);
-            ShortestPaths ahead_field;
-            bool have_ahead = false;
+            ShortestPaths ahead_holder;
+            const ShortestPaths *ahead_field = nullptr;
             if (ropts.lookaheadWeight > 0.0 && next_partner) {
                 const QubitId p = next_partner(mover);
                 if (p != kInvalid && layout.isMapped(p)) {
                     ahead_field =
-                        cost.routingDistances(layout.slotOf(p), layout);
-                    have_ahead = true;
+                        &get_field(layout.slotOf(p), ahead_holder);
                 }
             }
             for (SlotId x = 0; x < layout.numSlots(); ++x) {
@@ -113,10 +123,10 @@ routeTwoQubitGate(const Gate &g, int gate_idx, Layout &layout,
                 const double fc = moving_ctl ? final_cost(x, toward)
                                              : final_cost(toward, x);
                 double total = field.dist[x] + fc;
-                if (have_ahead &&
-                    ahead_field.dist[x] != ShortestPaths::kInf) {
+                if (ahead_field &&
+                    ahead_field->dist[x] != ShortestPaths::kInf) {
                     total += ropts.lookaheadWeight *
-                             ahead_field.dist[x];
+                             ahead_field->dist[x];
                 }
                 if (total < plan.total) {
                     plan.total = total;
@@ -185,6 +195,11 @@ routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
     const auto layers = native.asapLayers();
     const auto rem = remainingPath(native);
     const auto &gates = native.gates();
+
+    // One distance-field cache for the whole pass: routing SWAPs never
+    // change slot occupancy, so cached Dijkstra fields stay valid
+    // across rounds (and across gates).
+    DistanceFieldCache cache(cost);
 
     // For lookahead: the partner of each qubit's next 2q gate after a
     // given gate index. Built lazily per routed gate from a per-qubit
@@ -265,7 +280,7 @@ routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
         });
         for (int i : twoq) {
             routeTwoQubitGate(
-                gates[i], i, layout, cost, out, opts,
+                gates[i], i, layout, cost, cache, out, opts,
                 [&, i](QubitId q) { return next_partner_after(q, i); });
         }
     }
@@ -276,51 +291,56 @@ Layout
 replayFinalLayout(const CompiledCircuit &compiled)
 {
     Layout layout = compiled.initialLayout();
-    for (const auto &g : compiled.gates()) {
-        switch (g.cls) {
-          case PhysGateClass::SwapInternal:
-          case PhysGateClass::SwapBareBare:
-          case PhysGateClass::SwapBareEnc0:
-          case PhysGateClass::SwapBareEnc1:
-          case PhysGateClass::SwapEnc00:
-          case PhysGateClass::SwapEnc01:
-          case PhysGateClass::SwapEnc11:
-            // Only transparent routing SWAPs move tracking; a
-            // program-level SWAP realizes the logical exchange and
-            // leaves the qubit labels on their slots.
-            if (g.isRouting)
-                layout.swapSlots(g.slots[0], g.slots[1]);
-            break;
-          case PhysGateClass::SwapFull: {
-            const UnitId u = slotUnit(g.slots[0]);
-            const UnitId v = slotUnit(g.slots[1]);
-            layout.swapSlots(makeSlot(u, 0), makeSlot(v, 0));
-            layout.swapSlots(makeSlot(u, 1), makeSlot(v, 1));
-            break;
-          }
-          case PhysGateClass::Encode: {
-            if (ExpandedGraph::sameUnit(g.slots[0], g.slots[1]))
-                break; // initial encode: layout already encoded
-            const UnitId dst = slotUnit(g.slots[0]);
-            const QubitId moving = layout.qubitAt(g.slots[1]);
-            QPANIC_IF(moving == kInvalid, "ENC from empty slot");
-            layout.remove(moving);
-            layout.place(moving, makeSlot(dst, 1));
-            break;
-          }
-          case PhysGateClass::Decode: {
-            const UnitId src = slotUnit(g.slots[0]);
-            const QubitId moving = layout.qubitAt(makeSlot(src, 1));
-            QPANIC_IF(moving == kInvalid, "DEC from non-encoded unit");
-            layout.remove(moving);
-            layout.place(moving, g.slots[1]);
-            break;
-          }
-          default:
-            break; // non-moving gates
-        }
-    }
+    for (const auto &g : compiled.gates())
+        advanceLayout(layout, g);
     return layout;
+}
+
+void
+advanceLayout(Layout &layout, const PhysGate &g)
+{
+    switch (g.cls) {
+      case PhysGateClass::SwapInternal:
+      case PhysGateClass::SwapBareBare:
+      case PhysGateClass::SwapBareEnc0:
+      case PhysGateClass::SwapBareEnc1:
+      case PhysGateClass::SwapEnc00:
+      case PhysGateClass::SwapEnc01:
+      case PhysGateClass::SwapEnc11:
+        // Only transparent routing SWAPs move tracking; a
+        // program-level SWAP realizes the logical exchange and
+        // leaves the qubit labels on their slots.
+        if (g.isRouting)
+            layout.swapSlots(g.slots[0], g.slots[1]);
+        break;
+      case PhysGateClass::SwapFull: {
+        const UnitId u = slotUnit(g.slots[0]);
+        const UnitId v = slotUnit(g.slots[1]);
+        layout.swapSlots(makeSlot(u, 0), makeSlot(v, 0));
+        layout.swapSlots(makeSlot(u, 1), makeSlot(v, 1));
+        break;
+      }
+      case PhysGateClass::Encode: {
+        if (ExpandedGraph::sameUnit(g.slots[0], g.slots[1]))
+            break; // initial encode: layout already encoded
+        const UnitId dst = slotUnit(g.slots[0]);
+        const QubitId moving = layout.qubitAt(g.slots[1]);
+        QPANIC_IF(moving == kInvalid, "ENC from empty slot");
+        layout.remove(moving);
+        layout.place(moving, makeSlot(dst, 1));
+        break;
+      }
+      case PhysGateClass::Decode: {
+        const UnitId src = slotUnit(g.slots[0]);
+        const QubitId moving = layout.qubitAt(makeSlot(src, 1));
+        QPANIC_IF(moving == kInvalid, "DEC from non-encoded unit");
+        layout.remove(moving);
+        layout.place(moving, g.slots[1]);
+        break;
+      }
+      default:
+        break; // non-moving gates
+    }
 }
 
 void
@@ -423,9 +443,7 @@ validateCompiled(const CompiledCircuit &compiled, const Topology &topo)
         }
 
         // Advance the replay.
-        CompiledCircuit step(layout, "step");
-        step.add(g);
-        layout = replayFinalLayout(step);
+        advanceLayout(layout, g);
     }
 
     // Final layout agreement.

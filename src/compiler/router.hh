@@ -24,6 +24,15 @@ struct RouterOptions
      * disables lookahead.
      */
     double lookaheadWeight = 0.0;
+
+    /**
+     * Reuse Dijkstra distance fields across routing rounds via
+     * DistanceFieldCache (routing SWAPs never perturb edge costs, so
+     * fields stay valid for the whole pass). Off recomputes every
+     * field from scratch; routed output is identical either way --
+     * the differential tests assert it.
+     */
+    bool useDistanceCache = true;
 };
 
 /**
@@ -56,6 +65,14 @@ void validateCompiled(const CompiledCircuit &compiled,
 
 /** The layout reached by replaying all gates from the initial layout. */
 Layout replayFinalLayout(const CompiledCircuit &compiled);
+
+/**
+ * Advance @p layout across one physical gate (the single-step kernel
+ * of replayFinalLayout). Used by replay-heavy loops -- equivalence
+ * checking, validation -- to avoid building a one-gate CompiledCircuit
+ * per step.
+ */
+void advanceLayout(Layout &layout, const PhysGate &g);
 
 } // namespace qompress
 

@@ -51,15 +51,15 @@ traceEvolution(const TransmonSystem &system, const GrapeOptimizer &grape,
     };
 
     record(0);
+    std::vector<CMatrix::Scalar> next(dim, 0.0); // reused across segments
     for (int j = 0; j < segments; ++j) {
-        std::vector<CMatrix::Scalar> next(dim, 0.0);
         for (int r = 0; r < dim; ++r) {
             CMatrix::Scalar acc = 0.0;
             for (int c = 0; c < dim; ++c)
                 acc += props[j](r, c) * state[c];
             next[r] = acc;
         }
-        state = std::move(next);
+        state.swap(next);
         if ((j + 1) % stride == 0 || j + 1 == segments)
             record(j + 1);
     }

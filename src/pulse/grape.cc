@@ -14,6 +14,7 @@ namespace {
  * Van Loan augmented exponential: for M = [[A, B], [0, A]],
  * expm(M) = [[e^A, D], [0, e^A]] where D is the exact directional
  * derivative of the exponential at A in direction B. Returns D.
+ * (Reference path only; the optimized gradient uses expmFamilyInto.)
  */
 CMatrix
 expmDirectional(const CMatrix &a, const CMatrix &b)
@@ -33,6 +34,29 @@ expmDirectional(const CMatrix &a, const CMatrix &b)
         for (int c = 0; c < n; ++c)
             d(r, c) = e(r, n + c);
     return d;
+}
+
+/** Tr(x * y) without forming the product. */
+CMatrix::Scalar
+traceOfProduct(const CMatrix &x, const CMatrix &y)
+{
+    CMatrix::Scalar t = 0.0;
+    for (int r = 0; r < x.rows(); ++r)
+        for (int c = 0; c < x.cols(); ++c)
+            t += x(r, c) * y(c, r);
+    return t;
+}
+
+/** Resize-and-zero a [k][j] gradient buffer without reallocating once
+ *  rows have reached their final capacity. */
+void
+zeroGrad(std::vector<std::vector<double>> &grad, std::size_t nk,
+         int segments)
+{
+    if (grad.size() != nk)
+        grad.resize(nk);
+    for (auto &row : grad)
+        row.assign(static_cast<std::size_t>(segments), 0.0);
 }
 
 } // namespace
@@ -59,6 +83,7 @@ GrapeOptimizer::GrapeOptimizer(const TransmonSystem &system, CMatrix target,
         for (int c = 0; c < target.cols(); ++c)
             targetFull_(system.logicalToFull(r),
                         system.logicalToFull(c)) = target(r, c);
+    daggerInto(targetDagger_, targetFull_);
 }
 
 std::vector<CMatrix>
@@ -112,6 +137,110 @@ double
 GrapeOptimizer::objectiveAndGradient(
     const std::vector<std::vector<double>> &controls,
     std::vector<std::vector<double>> &grad, double &fidelity,
+    double &leakage, GrapeWorkspace &ws) const
+{
+    const int dim = system_->dim();
+    const double h = system_->logicalDim();
+    const auto &hc = system_->controls();
+    QPANIC_IF(controls.size() != hc.size(), "control count mismatch");
+    const std::size_t nk = hc.size();
+
+    // Per-control generators -i dt Hc_k. Constant for one optimizer,
+    // but refreshed every call (a cheap n^2 copy next to the n^3
+    // matmuls) so a workspace reused across optimizers with different
+    // dt or control Hamiltonians can never supply stale directions.
+    if (ws.bgen.size() != nk)
+        ws.bgen.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k)
+        scaleInto(ws.bgen[k], CMatrix::Scalar(0.0, -dt_), hc[k]);
+
+    if (ws.props.size() != static_cast<std::size_t>(segments_)) {
+        ws.props.resize(segments_);
+        ws.fwd.resize(segments_);
+        ws.wback.resize(segments_);
+        ws.yback.resize(segments_);
+        ws.du.resize(segments_);
+    }
+
+    // One shared-series exponential per segment yields the propagator
+    // and every control's directional derivative together.
+    for (int j = 0; j < segments_; ++j) {
+        ws.hseg.copyFrom(system_->drift());
+        for (std::size_t k = 0; k < nk; ++k)
+            addScaledInto(ws.hseg, CMatrix::Scalar(controls[k][j]),
+                          hc[k]);
+        scaleInto(ws.agen, CMatrix::Scalar(0.0, -dt_), ws.hseg);
+        expmFamilyInto(ws.props[j], ws.du[j], ws.agen, ws.bgen,
+                       ws.famWs);
+    }
+
+    // Forward cumulative products A_j = U_j ... U_0.
+    ws.fwd[0].copyFrom(ws.props[0]);
+    for (int j = 1; j < segments_; ++j)
+        mulInto(ws.fwd[j], ws.props[j], ws.fwd[j - 1]);
+    const CMatrix &u = ws.fwd[segments_ - 1];
+
+    CMatrix::Scalar z = 0.0;
+    for (int r = 0; r < dim; ++r)
+        for (int c = 0; c < dim; ++c)
+            z += std::conj(targetFull_(r, c)) * u(r, c);
+    fidelity = std::norm(z) / (h * h);
+
+    // Leakage mask: guard-row, logical-column entries of U.
+    ws.mask.resize(dim, dim);
+    ws.mask.setZero();
+    leakage = 0.0;
+    for (int c = 0; c < dim; ++c) {
+        if (!system_->isLogicalIndex(c))
+            continue;
+        for (int r = 0; r < dim; ++r) {
+            if (!system_->isLogicalIndex(r)) {
+                ws.mask(r, c) = u(r, c);
+                leakage += std::norm(u(r, c));
+            }
+        }
+    }
+    leakage /= h;
+
+    // Backward partials: W_j = V^dag S_j and Y_j = mask^dag S_j where
+    // S_j = U_{N-1} ... U_{j+1}.
+    ws.wback[segments_ - 1].copyFrom(targetDagger_);
+    daggerInto(ws.yback[segments_ - 1], ws.mask);
+    for (int j = segments_ - 1; j > 0; --j) {
+        mulInto(ws.wback[j - 1], ws.wback[j], ws.props[j]);
+        mulInto(ws.yback[j - 1], ws.yback[j], ws.props[j]);
+    }
+
+    zeroGrad(grad, nk, segments_);
+    for (int j = 0; j < segments_; ++j) {
+        // Exact per-segment derivative: with U_total = S_j U_j A_{j-1},
+        // dz/dc = Tr(V^dag S_j dU_j A_{j-1}) = Tr((A_{j-1} W_j) dU_j),
+        // where dU_j is the Van Loan directional derivative of the
+        // segment exponential.
+        if (j > 0) {
+            mulInto(ws.pw, ws.fwd[j - 1], ws.wback[j]);
+            mulInto(ws.py, ws.fwd[j - 1], ws.yback[j]);
+        } else {
+            ws.pw.copyFrom(ws.wback[0]);
+            ws.py.copyFrom(ws.yback[0]);
+        }
+        for (std::size_t k = 0; k < nk; ++k) {
+            const CMatrix &du = ws.du[j][k];
+            const CMatrix::Scalar dz = traceOfProduct(ws.pw, du);
+            const CMatrix::Scalar dl_tr = traceOfProduct(ws.py, du);
+            const double df =
+                2.0 * std::real(std::conj(z) * dz) / (h * h);
+            const double dl = 2.0 / h * std::real(dl_tr);
+            grad[k][j] = -df + opts_.leakageWeight * dl;
+        }
+    }
+    return (1.0 - fidelity) + opts_.leakageWeight * leakage;
+}
+
+double
+GrapeOptimizer::objectiveAndGradientNaive(
+    const std::vector<std::vector<double>> &controls,
+    std::vector<std::vector<double>> &grad, double &fidelity,
     double &leakage) const
 {
     const int dim = system_->dim();
@@ -156,10 +285,6 @@ GrapeOptimizer::objectiveAndGradient(
 
     grad.assign(hc.size(), std::vector<double>(segments_, 0.0));
     for (int j = 0; j < segments_; ++j) {
-        // Exact per-segment derivative: with U_total = S_j U_j A_{j-1},
-        // dz/dc = Tr(V^dag S_j dU_j A_{j-1}) = Tr((A_{j-1} W_j) dU_j),
-        // where dU_j is the Van Loan directional derivative of the
-        // segment exponential.
         const CMatrix prefix = j > 0 ? fwd[j - 1]
                                      : CMatrix::identity(dim);
         const CMatrix pw = prefix * wback[j];
@@ -221,9 +346,10 @@ GrapeOptimizer::runFrom(std::vector<std::vector<double>> controls) const
     GrapeResult best;
     best.controls = controls;
     std::vector<std::vector<double>> grad;
+    GrapeWorkspace ws; // shared across iterations: warm after iter 1
     for (int it = 1; it <= opts_.maxIterations; ++it) {
         double fid = 0.0, leak = 0.0;
-        objectiveAndGradient(controls, grad, fid, leak);
+        objectiveAndGradient(controls, grad, fid, leak, ws);
         if (fid > best.fidelity) {
             best.fidelity = fid;
             best.leakage = leak;

@@ -42,6 +42,29 @@ struct GrapeResult
     std::vector<std::vector<double>> controls;
 };
 
+/**
+ * Caller-owned scratch for objectiveAndGradient: propagators,
+ * cumulative products, backward partials, per-segment directional
+ * derivatives, and the exponential workspaces. Reusing one workspace
+ * across iterations makes a gradient step allocation-free after the
+ * first call sizes every buffer.
+ */
+struct GrapeWorkspace
+{
+    std::vector<CMatrix> props;   ///< per-segment propagators U_j
+    std::vector<CMatrix> fwd;     ///< forward products A_j = U_j..U_0
+    std::vector<CMatrix> wback;   ///< V^dag S_j backward partials
+    std::vector<CMatrix> yback;   ///< mask^dag S_j backward partials
+    std::vector<std::vector<CMatrix>> du; ///< dU_j/dc_k per segment
+    std::vector<CMatrix> bgen;    ///< constant generators -i dt Hc_k
+    CMatrix hseg;                 ///< segment Hamiltonian accumulator
+    CMatrix agen;                 ///< segment generator -i dt H
+    CMatrix mask;                 ///< leakage mask (guard rows of U)
+    CMatrix pw;                   ///< A_{j-1} W_j
+    CMatrix py;                   ///< A_{j-1} Y_j
+    ExpmFamilyWorkspace famWs;
+};
+
 /** Gradient-based pulse search for a fixed gate duration. */
 class GrapeOptimizer
 {
@@ -81,15 +104,34 @@ class GrapeOptimizer
         return static_cast<int>(system_->controls().size());
     }
 
-  private:
-    /** J, dJ/dcontrols (flattened [k][j]). */
+    /**
+     * J = (1 - F) + lambda * leakage and dJ/dcontrols ([k][j]).
+     *
+     * The hot path of a GRAPE run: propagators and all directional
+     * derivatives come from one shared-series Van Loan exponential per
+     * segment, and every temporary lives in @p ws -- zero heap
+     * allocations once the workspace is warm.
+     */
     double objectiveAndGradient(
+        const std::vector<std::vector<double>> &controls,
+        std::vector<std::vector<double>> &grad, double &fidelity,
+        double &leakage, GrapeWorkspace &ws) const;
+
+    /**
+     * Reference gradient: fresh temporaries throughout and one
+     * augmented 2n x 2n exponential per (segment, control), exactly
+     * the pre-optimization implementation. Retained for differential
+     * tests and the bench_hotpaths baseline.
+     */
+    double objectiveAndGradientNaive(
         const std::vector<std::vector<double>> &controls,
         std::vector<std::vector<double>> &grad, double &fidelity,
         double &leakage) const;
 
+  private:
     const TransmonSystem *system_;
-    CMatrix targetFull_; // target embedded in the full space
+    CMatrix targetFull_;   // target embedded in the full space
+    CMatrix targetDagger_; // precomputed V^dag
     double duration_;
     double dt_;
     int segments_;

@@ -150,10 +150,109 @@ CMatrix::isUnitary(double tol) const
     return diff.norm() <= tol * rows_;
 }
 
-CMatrix
-expm(const CMatrix &a)
+void
+CMatrix::resize(int rows, int cols)
+{
+    QFATAL_IF(rows < 0 || cols < 0, "negative matrix shape");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * cols);
+}
+
+void
+CMatrix::setZero()
+{
+    std::fill(data_.begin(), data_.end(), Scalar(0.0));
+}
+
+void
+CMatrix::setIdentity()
+{
+    QPANIC_IF(rows_ != cols_, "setIdentity on non-square matrix");
+    setZero();
+    for (int i = 0; i < rows_; ++i)
+        (*this)(i, i) = 1.0;
+}
+
+void
+CMatrix::copyFrom(const CMatrix &o)
+{
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_.assign(o.data_.begin(), o.data_.end());
+}
+
+void
+CMatrix::swap(CMatrix &o) noexcept
+{
+    std::swap(rows_, o.rows_);
+    std::swap(cols_, o.cols_);
+    data_.swap(o.data_);
+}
+
+void
+mulInto(CMatrix &out, const CMatrix &a, const CMatrix &b)
+{
+    QPANIC_IF(a.cols() != b.rows(), "mulInto shape mismatch");
+    QPANIC_IF(&out == &a || &out == &b, "mulInto: aliased output");
+    out.resize(a.rows(), b.cols());
+    out.setZero();
+    const int n = a.rows(), m = a.cols(), p = b.cols();
+    const CMatrix::Scalar *bd = b.data();
+    CMatrix::Scalar *od = out.data();
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < m; ++k) {
+            const CMatrix::Scalar av = a(i, k);
+            if (av == CMatrix::Scalar(0.0))
+                continue;
+            const CMatrix::Scalar *brow = bd + static_cast<std::size_t>(k) * p;
+            CMatrix::Scalar *orow = od + static_cast<std::size_t>(i) * p;
+            for (int j = 0; j < p; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+addScaledInto(CMatrix &a, CMatrix::Scalar s, const CMatrix &b)
+{
+    QPANIC_IF(a.rows() != b.rows() || a.cols() != b.cols(),
+              "addScaledInto shape mismatch");
+    CMatrix::Scalar *ad = a.data();
+    const CMatrix::Scalar *bd = b.data();
+    const std::size_t n =
+        static_cast<std::size_t>(a.rows()) * a.cols();
+    for (std::size_t i = 0; i < n; ++i)
+        ad[i] += s * bd[i];
+}
+
+void
+scaleInto(CMatrix &out, CMatrix::Scalar s, const CMatrix &a)
+{
+    out.resize(a.rows(), a.cols());
+    CMatrix::Scalar *od = out.data();
+    const CMatrix::Scalar *ad = a.data();
+    const std::size_t n =
+        static_cast<std::size_t>(a.rows()) * a.cols();
+    for (std::size_t i = 0; i < n; ++i)
+        od[i] = s * ad[i];
+}
+
+void
+daggerInto(CMatrix &out, const CMatrix &a)
+{
+    QPANIC_IF(&out == &a, "daggerInto: aliased output");
+    out.resize(a.cols(), a.rows());
+    for (int i = 0; i < a.rows(); ++i)
+        for (int j = 0; j < a.cols(); ++j)
+            out(j, i) = std::conj(a(i, j));
+}
+
+void
+expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws)
 {
     QPANIC_IF(a.rows() != a.cols(), "expm of non-square matrix");
+    const int n = a.rows();
     // Scale so the Taylor series converges fast, then square back.
     const double norm = a.normInf();
     int squarings = 0;
@@ -162,19 +261,119 @@ expm(const CMatrix &a)
         scale *= 0.5;
         ++squarings;
     }
-    const CMatrix as = a * CMatrix::Scalar(scale);
-    CMatrix term = CMatrix::identity(a.rows());
-    CMatrix sum = term;
+    scaleInto(ws.scaled, CMatrix::Scalar(scale), a);
+    ws.term.resize(n, n);
+    ws.term.setIdentity();
+    out.resize(n, n);
+    out.setIdentity();
     for (int k = 1; k <= 18; ++k) {
-        term = term * as;
-        term *= CMatrix::Scalar(1.0 / k);
-        sum += term;
-        if (term.norm() < 1e-18)
+        mulInto(ws.tmp, ws.term, ws.scaled);
+        ws.term.swap(ws.tmp);
+        scaleInto(ws.term, CMatrix::Scalar(1.0 / k), ws.term);
+        addScaledInto(out, CMatrix::Scalar(1.0), ws.term);
+        if (ws.term.norm() < 1e-18)
             break;
     }
-    for (int s = 0; s < squarings; ++s)
-        sum = sum * sum;
-    return sum;
+    for (int s = 0; s < squarings; ++s) {
+        mulInto(ws.tmp, out, out);
+        out.swap(ws.tmp);
+    }
+}
+
+CMatrix
+expm(const CMatrix &a)
+{
+    ExpmWorkspace ws;
+    CMatrix out;
+    expmInto(out, a, ws);
+    return out;
+}
+
+void
+expmFamilyInto(CMatrix &eA, std::vector<CMatrix> &ds, const CMatrix &a,
+               const std::vector<CMatrix> &bs, ExpmFamilyWorkspace &ws)
+{
+    QPANIC_IF(a.rows() != a.cols(), "expmFamilyInto: non-square A");
+    const int n = a.rows();
+    const std::size_t nk = bs.size();
+    for (const auto &b : bs) {
+        QPANIC_IF(b.rows() != n || b.cols() != n,
+                  "expmFamilyInto: direction shape mismatch");
+    }
+
+    // Scale by the norm of the augmented matrix [[A, B], [0, A]]
+    // (bounded by |A| + max_k |B_k|) so every block series converges.
+    double norm = a.normInf();
+    double bnorm = 0.0;
+    for (const auto &b : bs)
+        bnorm = std::max(bnorm, b.normInf());
+    norm += bnorm;
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.5) {
+        scale *= 0.5;
+        ++squarings;
+    }
+
+    // Scaled blocks: ws.tmp2 holds As; directions are consumed scaled
+    // on the fly (B appears linearly in every D term).
+    scaleInto(ws.tmp2, CMatrix::Scalar(scale), a);
+    const CMatrix &as = ws.tmp2;
+
+    ws.d.resize(nk);
+    ws.sd.resize(nk);
+    ds.resize(nk);
+    ws.p.resize(n, n);
+    ws.p.setIdentity();
+    ws.sp.resize(n, n);
+    ws.sp.setIdentity();
+    for (std::size_t k = 0; k < nk; ++k) {
+        ws.d[k].resize(n, n);
+        ws.d[k].setZero();
+        ws.sd[k].resize(n, n);
+        ws.sd[k].setZero();
+    }
+
+    // Taylor recurrence on the blocks of term_m = [[P_m, D_m], [0, P_m]]:
+    //   P_{m+1}   = P_m As / (m+1)
+    //   D_{m+1,k} = (P_m Bs_k + D_{m,k} As) / (m+1)
+    for (int m = 1; m <= 18; ++m) {
+        const CMatrix::Scalar inv(1.0 / m);
+        double term_norm = 0.0;
+        for (std::size_t k = 0; k < nk; ++k) {
+            mulInto(ws.tmp, ws.p, bs[k]);
+            scaleInto(ws.tmp, CMatrix::Scalar(scale), ws.tmp);
+            mulInto(eA, ws.d[k], as); // eA free as scratch until the end
+            addScaledInto(ws.tmp, CMatrix::Scalar(1.0), eA);
+            scaleInto(ws.tmp, inv, ws.tmp);
+            ws.d[k].swap(ws.tmp);
+            addScaledInto(ws.sd[k], CMatrix::Scalar(1.0), ws.d[k]);
+            term_norm = std::max(term_norm, ws.d[k].norm());
+        }
+        mulInto(ws.tmp, ws.p, as);
+        scaleInto(ws.tmp, inv, ws.tmp);
+        ws.p.swap(ws.tmp);
+        addScaledInto(ws.sp, CMatrix::Scalar(1.0), ws.p);
+        term_norm = std::max(term_norm, ws.p.norm());
+        if (term_norm < 1e-18)
+            break;
+    }
+
+    // Squaring: [[P, D], [0, P]]^2 = [[P^2, PD + DP], [0, P^2]].
+    for (int s = 0; s < squarings; ++s) {
+        for (std::size_t k = 0; k < nk; ++k) {
+            mulInto(ws.tmp, ws.sp, ws.sd[k]);
+            mulInto(eA, ws.sd[k], ws.sp);
+            addScaledInto(ws.tmp, CMatrix::Scalar(1.0), eA);
+            ws.sd[k].swap(ws.tmp);
+        }
+        mulInto(ws.tmp, ws.sp, ws.sp);
+        ws.sp.swap(ws.tmp);
+    }
+
+    eA.copyFrom(ws.sp);
+    for (std::size_t k = 0; k < nk; ++k)
+        ds[k].copyFrom(ws.sd[k]);
 }
 
 } // namespace qompress

@@ -58,6 +58,27 @@ class CMatrix
     /** True iff this is unitary within @p tol. */
     bool isUnitary(double tol = 1e-8) const;
 
+    /** @name In-place plumbing for allocation-free hot loops.
+     * None of these allocate once the matrix has reached its final
+     * capacity (reshaping within capacity reuses the buffer). @{ */
+
+    /** Reshape to rows x cols; existing contents are unspecified. */
+    void resize(int rows, int cols);
+
+    void setZero();
+
+    /** Make this the n x n identity (keeps the current shape). */
+    void setIdentity();
+
+    /** this = o, reusing capacity. */
+    void copyFrom(const CMatrix &o);
+
+    void swap(CMatrix &o) noexcept;
+
+    Scalar *data() { return data_.data(); }
+    const Scalar *data() const { return data_.data(); }
+    /** @} */
+
   private:
     std::size_t idx(int r, int c) const
     {
@@ -75,6 +96,57 @@ class CMatrix
  * Schrodinger propagation).
  */
 CMatrix expm(const CMatrix &a);
+
+/** out = a * b. @p out must not alias either operand. */
+void mulInto(CMatrix &out, const CMatrix &a, const CMatrix &b);
+
+/** a += s * b. */
+void addScaledInto(CMatrix &a, CMatrix::Scalar s, const CMatrix &b);
+
+/** out = s * a. @p out may alias @p a. */
+void scaleInto(CMatrix &out, CMatrix::Scalar s, const CMatrix &a);
+
+/** out = a^dagger. @p out must not alias @p a. */
+void daggerInto(CMatrix &out, const CMatrix &a);
+
+/** Caller-owned scratch for expmInto. */
+struct ExpmWorkspace
+{
+    CMatrix scaled;
+    CMatrix term;
+    CMatrix tmp;
+};
+
+/** out = expm(a); identical math to expm() but all temporaries live in
+ *  @p ws, so repeated calls perform no heap allocation. */
+void expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws);
+
+/** Caller-owned scratch for expmFamilyInto. */
+struct ExpmFamilyWorkspace
+{
+    CMatrix p;                ///< current Taylor term, diagonal block
+    CMatrix sp;               ///< accumulated e^(scaled A)
+    CMatrix tmp;
+    CMatrix tmp2;
+    std::vector<CMatrix> d;   ///< current Taylor terms, derivative blocks
+    std::vector<CMatrix> sd;  ///< accumulated derivatives
+};
+
+/**
+ * Shared-series Van Loan exponential: computes eA = expm(a) and, for
+ * every direction bs[k], the exact directional derivative ds[k] of the
+ * exponential at @p a along bs[k].
+ *
+ * Exploits the block-triangular structure of the augmented matrix
+ * [[A, B], [0, A]]: powers keep the form [[A^m, D_m], [0, A^m]], so
+ * the Taylor and squaring recurrences run on n x n blocks -- the e^A
+ * series is computed once and shared across all directions instead of
+ * re-deriving it inside one 2n x 2n exponential per direction. All
+ * temporaries live in @p ws (no allocation after warm-up).
+ */
+void expmFamilyInto(CMatrix &eA, std::vector<CMatrix> &ds,
+                    const CMatrix &a, const std::vector<CMatrix> &bs,
+                    ExpmFamilyWorkspace &ws);
 
 } // namespace qompress
 

@@ -62,9 +62,7 @@ unitDims(const CompiledCircuit &compiled,
         if (g.cls == PhysGateClass::Encode)
             dims[slotUnit(g.slots[0])] = 4;
         // Advance occupancy.
-        CompiledCircuit step(layout, "dims");
-        step.add(g);
-        layout = replayFinalLayout(step);
+        advanceLayout(layout, g);
     }
     return dims;
 }
@@ -161,9 +159,7 @@ checkEquivalence(const Circuit &logical, const CompiledCircuit &compiled,
                 tenc.push_back(layout.unitEncoded(u));
             }
             phys.applyUnitary(targets, physGateUnitary(g, tdims, tenc));
-            CompiledCircuit step(layout, "replay");
-            step.add(g);
-            layout = replayFinalLayout(step);
+            advanceLayout(layout, g);
         }
 
         // Decode the final physical state against the final layout.

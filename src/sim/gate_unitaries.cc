@@ -8,20 +8,17 @@ namespace qompress {
 
 namespace {
 
-SmallMatrix
+GateMatrix
 identity(std::size_t n)
 {
-    SmallMatrix m(n, std::vector<Cplx>(n, 0.0));
-    for (std::size_t i = 0; i < n; ++i)
-        m[i][i] = 1.0;
-    return m;
+    return GateMatrix::identity(n);
 }
 
-SmallMatrix
-kron(const SmallMatrix &a, const SmallMatrix &b)
+GateMatrix
+kron(const GateMatrix &a, const GateMatrix &b)
 {
     const std::size_t na = a.size(), nb = b.size();
-    SmallMatrix m(na * nb, std::vector<Cplx>(na * nb, 0.0));
+    GateMatrix m(na * nb);
     for (std::size_t i = 0; i < na; ++i)
         for (std::size_t j = 0; j < na; ++j)
             for (std::size_t k = 0; k < nb; ++k)
@@ -34,8 +31,8 @@ kron(const SmallMatrix &a, const SmallMatrix &b)
  * Embed a 1-qubit unitary on one unit: tensor position for encoded
  * units, block-diagonal (levels 0/1) for bare units of dimension 4.
  */
-SmallMatrix
-embedSq(int dim, bool enc, int pos, const SmallMatrix &u)
+GateMatrix
+embedSq(int dim, bool enc, int pos, const GateMatrix &u)
 {
     if (enc) {
         QPANIC_IF(dim != 4, "encoded unit must have dim 4");
@@ -43,7 +40,7 @@ embedSq(int dim, bool enc, int pos, const SmallMatrix &u)
     }
     if (dim == 2)
         return u;
-    SmallMatrix m = identity(dim);
+    GateMatrix m = identity(dim);
     for (int i = 0; i < 2; ++i)
         for (int j = 0; j < 2; ++j)
             m[i][j] = u[i][j];
@@ -72,11 +69,11 @@ replaceBit(int d, bool enc, int pos, int bit)
 }
 
 /** Permutation matrix from an index map. */
-SmallMatrix
+GateMatrix
 permutation(const std::vector<std::size_t> &image)
 {
     const std::size_t n = image.size();
-    SmallMatrix m(n, std::vector<Cplx>(n, 0.0));
+    GateMatrix m(n);
     std::vector<bool> hit(n, false);
     for (std::size_t col = 0; col < n; ++col) {
         QPANIC_IF(hit[image[col]], "permutation image collision");
@@ -119,7 +116,7 @@ encodeImage(int da, int db)
 
 } // namespace
 
-SmallMatrix
+GateMatrix
 gate1q(GateType t, double param)
 {
     const Cplx i(0.0, 1.0);
@@ -160,28 +157,28 @@ gate1q(GateType t, double param)
     }
 }
 
-SmallMatrix
+GateMatrix
 logicalGateUnitary(const Gate &g)
 {
     switch (g.type) {
       case GateType::CX: {
-        SmallMatrix m = identity(4);
-        std::swap(m[2], m[3]);
+        GateMatrix m = identity(4);
+        m.swapRows(2, 3);
         return m;
       }
       case GateType::CZ: {
-        SmallMatrix m = identity(4);
+        GateMatrix m = identity(4);
         m[3][3] = -1.0;
         return m;
       }
       case GateType::Swap: {
-        SmallMatrix m = identity(4);
-        std::swap(m[1], m[2]);
+        GateMatrix m = identity(4);
+        m.swapRows(1, 2);
         return m;
       }
       case GateType::CCX: {
-        SmallMatrix m = identity(8);
-        std::swap(m[6], m[7]);
+        GateMatrix m = identity(8);
+        m.swapRows(6, 7);
         return m;
       }
       default:
@@ -189,7 +186,7 @@ logicalGateUnitary(const Gate &g)
     }
 }
 
-SmallMatrix
+GateMatrix
 physGateUnitary(const PhysGate &g, const std::vector<int> &dims,
                 const std::vector<bool> &enc)
 {

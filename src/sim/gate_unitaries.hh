@@ -18,11 +18,11 @@
 namespace qompress {
 
 /** 2x2 unitary of a 1-qubit logical gate. */
-SmallMatrix gate1q(GateType t, double param = 0.0);
+GateMatrix gate1q(GateType t, double param = 0.0);
 
 /** Unitary of a logical gate over its operands' qubit spaces
  *  (2^arity); supports every GateType including CCX and CZ. */
-SmallMatrix logicalGateUnitary(const Gate &g);
+GateMatrix logicalGateUnitary(const Gate &g);
 
 /**
  * Unitary of a physical gate over the product space of its units.
@@ -37,7 +37,7 @@ SmallMatrix logicalGateUnitary(const Gate &g);
  * same-unit Encode gates are identity (the encoding is reflected in
  * state preparation).
  */
-SmallMatrix physGateUnitary(const PhysGate &g, const std::vector<int> &dims,
+GateMatrix physGateUnitary(const PhysGate &g, const std::vector<int> &dims,
                             const std::vector<bool> &enc);
 
 } // namespace qompress

@@ -6,14 +6,40 @@
 
 namespace qompress {
 
+GateMatrix::GateMatrix(
+    std::initializer_list<std::initializer_list<Cplx>> rows)
+    : n_(rows.size())
+{
+    data_.reserve(n_ * n_);
+    for (const auto &row : rows) {
+        QPANIC_IF(row.size() != n_, "GateMatrix: ragged initializer");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+GateMatrix
+GateMatrix::identity(std::size_t n)
+{
+    GateMatrix m(n);
+    for (std::size_t i = 0; i < n; ++i)
+        m[i][i] = 1.0;
+    return m;
+}
+
+void
+GateMatrix::swapRows(std::size_t r1, std::size_t r2)
+{
+    QPANIC_IF(r1 >= n_ || r2 >= n_, "swapRows: row out of range");
+    Cplx *a = (*this)[r1];
+    Cplx *b = (*this)[r2];
+    for (std::size_t c = 0; c < n_; ++c)
+        std::swap(a[c], b[c]);
+}
+
 bool
-isUnitary(const SmallMatrix &u, double tol)
+isUnitary(const GateMatrix &u, double tol)
 {
     const std::size_t n = u.size();
-    for (const auto &row : u) {
-        if (row.size() != n)
-            return false;
-    }
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
             Cplx dot = 0.0;
@@ -89,24 +115,176 @@ MixedRadixState::norm() const
     return std::sqrt(n2);
 }
 
-void
-MixedRadixState::applyUnitary(const std::vector<int> &units,
-                              const SmallMatrix &u)
+std::size_t
+MixedRadixState::checkTargets(const std::vector<int> &units,
+                              const GateMatrix &u) const
 {
     QPANIC_IF(units.empty(), "applyUnitary: no targets");
     std::size_t k = 1;
-    std::vector<std::size_t> local_stride(units.size());
     for (int t = static_cast<int>(units.size()) - 1; t >= 0; --t) {
         const int unit = units[t];
         QPANIC_IF(unit < 0 || unit >= numUnits(),
                   "applyUnitary: bad unit ", unit);
-        local_stride[t] = k;
         k *= static_cast<std::size_t>(dims_[unit]);
     }
     QPANIC_IF(u.size() != k, "applyUnitary: matrix dim ", u.size(),
               " != target space ", k);
+    return k;
+}
+
+namespace {
+
+/**
+ * Odometer over the listed units: bumps @p base by one step of the
+ * rightmost digit, carrying with stride subtraction instead of
+ * recomputing the base index. @p digit must have one counter per unit.
+ */
+inline void
+bumpOdometer(std::size_t &base, std::vector<int> &digit,
+             const std::vector<int> &dims,
+             const std::vector<std::size_t> &strides)
+{
+    for (int t = static_cast<int>(digit.size()) - 1; t >= 0; --t) {
+        base += strides[t];
+        if (++digit[t] < dims[t])
+            return;
+        base -= strides[t] * static_cast<std::size_t>(dims[t]);
+        digit[t] = 0;
+    }
+}
+
+} // namespace
+
+void
+MixedRadixState::applyUnitary(const std::vector<int> &units,
+                              const GateMatrix &u)
+{
+    const std::size_t k = checkTargets(units, u);
+
+    // Tabulate the gather offset of every local index once: the inner
+    // loops then index amps_ directly with no div/mod arithmetic.
+    std::vector<std::size_t> offset(k);
+    {
+        std::vector<int> tdims(units.size()), tdigit(units.size(), 0);
+        std::vector<std::size_t> tstr(units.size());
+        for (std::size_t t = 0; t < units.size(); ++t) {
+            tdims[t] = dims_[units[t]];
+            tstr[t] = strides_[units[t]];
+        }
+        std::size_t off = 0;
+        for (std::size_t li = 0; li < k; ++li) {
+            offset[li] = off;
+            bumpOdometer(off, tdigit, tdims, tstr);
+        }
+    }
 
     // Complement units enumerate the untouched subspace.
+    std::vector<int> rest_dims;
+    std::vector<std::size_t> rest_str;
+    {
+        std::vector<bool> used(dims_.size(), false);
+        for (int unit : units)
+            used[unit] = true;
+        for (std::size_t w = 0; w < dims_.size(); ++w) {
+            if (!used[w]) {
+                rest_dims.push_back(dims_[w]);
+                rest_str.push_back(strides_[w]);
+            }
+        }
+    }
+    const std::size_t blocks = size() / k;
+    std::vector<int> rdigit(rest_dims.size(), 0);
+    Cplx *amps = amps_.data();
+
+    if (k == 2) {
+        const Cplx m00 = u[0][0], m01 = u[0][1];
+        const Cplx m10 = u[1][0], m11 = u[1][1];
+        const std::size_t s1 = offset[1];
+        std::size_t base = 0;
+        for (std::size_t blk = 0; blk < blocks; ++blk) {
+            const Cplx a0 = amps[base];
+            const Cplx a1 = amps[base + s1];
+            amps[base] = m00 * a0 + m01 * a1;
+            amps[base + s1] = m10 * a0 + m11 * a1;
+            bumpOdometer(base, rdigit, rest_dims, rest_str);
+        }
+        return;
+    }
+
+    if (k == 4) {
+        Cplx m[16];
+        for (std::size_t r = 0; r < 4; ++r)
+            for (std::size_t c = 0; c < 4; ++c)
+                m[4 * r + c] = u[r][c];
+        const std::size_t s1 = offset[1], s2 = offset[2], s3 = offset[3];
+        std::size_t base = 0;
+        for (std::size_t blk = 0; blk < blocks; ++blk) {
+            const Cplx a0 = amps[base];
+            const Cplx a1 = amps[base + s1];
+            const Cplx a2 = amps[base + s2];
+            const Cplx a3 = amps[base + s3];
+            amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+            amps[base + s1] =
+                m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+            amps[base + s2] =
+                m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+            amps[base + s3] =
+                m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+            bumpOdometer(base, rdigit, rest_dims, rest_str);
+        }
+        return;
+    }
+
+    // General kernel: compress the unitary's nonzero structure once
+    // (most physical gate classes are permutations, so row work is
+    // O(1) rather than O(k)), then gather / multiply / scatter.
+    std::vector<std::size_t> row_begin(k + 1, 0);
+    std::vector<std::size_t> nz_col;
+    std::vector<Cplx> nz_val;
+    nz_col.reserve(k * 2);
+    nz_val.reserve(k * 2);
+    for (std::size_t row = 0; row < k; ++row) {
+        const Cplx *urow = u[row];
+        for (std::size_t col = 0; col < k; ++col) {
+            if (urow[col] != Cplx(0.0)) {
+                nz_col.push_back(col);
+                nz_val.push_back(urow[col]);
+            }
+        }
+        row_begin[row + 1] = nz_col.size();
+    }
+
+    std::vector<Cplx> in(k);
+    std::size_t base = 0;
+    for (std::size_t blk = 0; blk < blocks; ++blk) {
+        for (std::size_t li = 0; li < k; ++li)
+            in[li] = amps[base + offset[li]];
+        for (std::size_t row = 0; row < k; ++row) {
+            Cplx acc = 0.0;
+            for (std::size_t p = row_begin[row]; p < row_begin[row + 1];
+                 ++p) {
+                acc += nz_val[p] * in[nz_col[p]];
+            }
+            amps[base + offset[row]] = acc;
+        }
+        bumpOdometer(base, rdigit, rest_dims, rest_str);
+    }
+}
+
+void
+MixedRadixState::applyUnitaryNaive(const std::vector<int> &units,
+                                   const GateMatrix &u)
+{
+    const std::size_t k = checkTargets(units, u);
+    std::vector<std::size_t> local_stride(units.size());
+    {
+        std::size_t acc = 1;
+        for (int t = static_cast<int>(units.size()) - 1; t >= 0; --t) {
+            local_stride[t] = acc;
+            acc *= static_cast<std::size_t>(dims_[units[t]]);
+        }
+    }
+
     std::vector<int> rest;
     for (int w = 0; w < numUnits(); ++w) {
         bool used = false;
@@ -118,13 +296,15 @@ MixedRadixState::applyUnitary(const std::vector<int> &units,
 
     std::vector<Cplx> in(k), out(k);
     std::vector<int> rest_digit(rest.size(), 0);
-    while (true) {
+    bool more = true;
+    while (more) {
         std::size_t base = 0;
         for (std::size_t r = 0; r < rest.size(); ++r)
             base += static_cast<std::size_t>(rest_digit[r]) *
                     strides_[rest[r]];
 
-        // Gather, multiply, scatter.
+        // Gather, multiply, scatter -- recomputing each gather index
+        // from scratch with div/mod (the pre-optimization behaviour).
         for (std::size_t li = 0; li < k; ++li) {
             std::size_t idx = base;
             std::size_t tmp = li;
@@ -154,18 +334,16 @@ MixedRadixState::applyUnitary(const std::vector<int> &units,
             amps_[idx] = out[li];
         }
 
-        // Advance the complement counter.
-        int r = static_cast<int>(rest.size()) - 1;
-        while (r >= 0) {
-            if (++rest_digit[r] < dims_[rest[r]])
+        // Advance the complement counter; an empty complement means a
+        // single block, so the loop simply terminates.
+        more = false;
+        for (int r = static_cast<int>(rest.size()) - 1; r >= 0; --r) {
+            if (++rest_digit[r] < dims_[rest[r]]) {
+                more = true;
                 break;
+            }
             rest_digit[r] = 0;
-            --r;
         }
-        if (r < 0)
-            break;
-        if (rest.empty())
-            break;
     }
 }
 

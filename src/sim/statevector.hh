@@ -10,17 +10,54 @@
 
 #include <complex>
 #include <cstddef>
+#include <initializer_list>
 #include <vector>
 
 namespace qompress {
 
 using Cplx = std::complex<double>;
 
-/** Row-major dense complex matrix used for small gate unitaries. */
-using SmallMatrix = std::vector<std::vector<Cplx>>;
+/**
+ * Flat row-major dense complex matrix used for small gate unitaries.
+ *
+ * Rows are addressed as contiguous Cplx spans (`m[r][c]`), so gate
+ * application kernels walk memory linearly instead of chasing one heap
+ * block per row as the old vector-of-vectors representation did.
+ */
+class GateMatrix
+{
+  public:
+    GateMatrix() = default;
+
+    /** Zero matrix of shape n x n. */
+    explicit GateMatrix(std::size_t n) : n_(n), data_(n * n, Cplx(0.0)) {}
+
+    /** Dense construction from nested braces (rows must be square). */
+    GateMatrix(std::initializer_list<std::initializer_list<Cplx>> rows);
+
+    static GateMatrix identity(std::size_t n);
+
+    /** Matrix dimension (rows == cols). */
+    std::size_t size() const { return n_; }
+
+    Cplx *operator[](std::size_t r) { return data_.data() + r * n_; }
+    const Cplx *operator[](std::size_t r) const
+    {
+        return data_.data() + r * n_;
+    }
+
+    /** Exchange two rows (used to build permutation-like gates). */
+    void swapRows(std::size_t r1, std::size_t r2);
+
+    const std::vector<Cplx> &data() const { return data_; }
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<Cplx> data_;
+};
 
 /** True iff @p u is unitary within @p tol (used by tests). */
-bool isUnitary(const SmallMatrix &u, double tol = 1e-9);
+bool isUnitary(const GateMatrix &u, double tol = 1e-9);
 
 /**
  * Statevector over an ordered list of qudits with per-qudit dimension.
@@ -57,14 +94,33 @@ class MixedRadixState
     /**
      * Apply @p u (dimension = product of the targets' dims, target 0
      * most significant) to the listed units.
+     *
+     * The hot path: gather indices are tabulated once per call and the
+     * untouched subspace is enumerated by incremental stride bumps, so
+     * the per-amplitude inner loop performs no division or modulo.
+     * Single-qudit gates (k = 2 and k = 4) use unrolled kernels;
+     * larger gates run a sparsity-aware gather/scatter.
      */
-    void applyUnitary(const std::vector<int> &units, const SmallMatrix &u);
+    void applyUnitary(const std::vector<int> &units, const GateMatrix &u);
+
+    /**
+     * Reference implementation of applyUnitary: recomputes every
+     * gather index with explicit div/mod arithmetic. Retained for
+     * differential tests and the bench_hotpaths baseline; do not use
+     * in production paths.
+     */
+    void applyUnitaryNaive(const std::vector<int> &units,
+                           const GateMatrix &u);
 
     /** Fidelity |<a|b>|^2 between two same-shape states. */
     static double overlap(const MixedRadixState &a,
                           const MixedRadixState &b);
 
   private:
+    /** Shared operand validation; returns the target-space dim k. */
+    std::size_t checkTargets(const std::vector<int> &units,
+                             const GateMatrix &u) const;
+
     std::vector<int> dims_;
     std::vector<std::size_t> strides_;
     std::vector<Cplx> amps_;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and print per-metric speedup/regression.
+
+Benches (e.g. bench_hotpaths) emit {"bench": <name>, "metrics": {...}}
+with numeric values. Given a baseline and a candidate file, this prints
+one row per shared metric with the ratio and a regression marker, and
+exits nonzero when any *_ms timing regresses beyond the threshold.
+
+Usage:
+    tools/bench_diff.py baseline.json candidate.json [--threshold=1.10]
+
+Timings (metrics ending in "_ms") count as regressions when candidate
+exceeds baseline * threshold; other metrics are informational.
+"""
+
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"{path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{path}: not valid JSON ({e})")
+    metrics = doc.get("metrics", doc)
+    if not isinstance(metrics, dict):
+        raise SystemExit(f"{path}: no metrics object")
+    return {
+        k: v for k, v in metrics.items() if isinstance(v, (int, float))
+    }
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 1.10
+    for a in argv[1:]:
+        if not a.startswith("--"):
+            continue
+        if a.startswith("--threshold="):
+            try:
+                threshold = float(a.split("=", 1)[1])
+            except ValueError:
+                print(f"bad threshold: {a}", file=sys.stderr)
+                return 2
+        else:
+            print(f"unknown flag: {a}", file=sys.stderr)
+            return 2
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base = load_metrics(args[0])
+    cand = load_metrics(args[1])
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("no shared numeric metrics", file=sys.stderr)
+        return 2
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    width = max(len(k) for k in shared)
+    regressions = []
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}"
+          f"  {'ratio':>8}  note")
+    for key in shared:
+        b, c = base[key], cand[key]
+        ratio = c / b if b else float("inf") if c else 1.0
+        note = ""
+        if key.endswith("_ms"):
+            if ratio > threshold:
+                note = "REGRESSION"
+                regressions.append(key)
+            elif ratio < 1.0 / threshold:
+                note = "improved"
+        print(f"{key:<{width}}  {b:>12.4g}  {c:>12.4g}"
+              f"  {ratio:>7.3f}x  {note}")
+
+    for key in only_base:
+        print(f"{key:<{width}}  (only in baseline)")
+    for key in only_cand:
+        print(f"{key:<{width}}  (only in candidate)")
+
+    if regressions:
+        print(f"\n{len(regressions)} timing regression(s): "
+              + ", ".join(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
