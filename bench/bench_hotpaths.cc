@@ -1,18 +1,20 @@
 /**
  * @file
- * Hot-path benchmark: times the three compute-heavy loops of the
+ * Hot-path benchmark: times the four compute-heavy loops of the
  * toolchain -- mixed-radix statevector gate application, one GRAPE
- * gradient iteration, and SWAP routing over the expanded graph --
- * against the retained naive reference kernels in the same binary,
- * and emits machine-readable JSON (the BENCH_*.json trajectory;
- * compare runs with tools/bench_diff.py).
+ * gradient iteration, SWAP routing over the expanded graph, and full
+ * mapping+routing of the deep QAOA/heavy-hex workload -- against the
+ * retained naive/uncached reference paths in the same binary, and
+ * emits machine-readable JSON (the BENCH_*.json trajectory; compare
+ * runs with tools/bench_diff.py --regress-threshold).
  *
  * Flags:
  *   --check      differential mode: assert optimized kernels agree
- *                with references (1e-10) and that a warm GRAPE
- *                gradient step performs zero heap allocations; exits
- *                nonzero on violation. Registered under ctest label
- *                "bench".
+ *                with references (1e-10), that a warm GRAPE gradient
+ *                step performs zero heap allocations, and that cached
+ *                (partial-invalidation) and uncached mapping+routing
+ *                emit identical circuits; exits nonzero on violation.
+ *                Registered under ctest label "bench".
  *   --quick      smaller repetition counts.
  *   --out=FILE   also write the JSON to FILE.
  */
@@ -31,6 +33,7 @@
 
 #include "bench_util.hh"
 #include "circuits/bv.hh"
+#include "circuits/qaoa.hh"
 #include "common/rng.hh"
 #include "compiler/pipeline.hh"
 #include "ir/passes.hh"
@@ -38,6 +41,7 @@
 #include "pulse/hamiltonian.hh"
 #include "pulse/targets.hh"
 #include "sim/statevector.hh"
+#include "strategies/awe.hh"
 
 // ------------------------------------------------------------------
 // Allocation-counting hook: every global operator new bumps a counter
@@ -271,6 +275,84 @@ benchRouting(int reps)
             static_cast<std::uint64_t>(cached_out.numGates())};
 }
 
+struct QaoaHhBenchResult
+{
+    double cached_ms;
+    double uncached_ms;
+    bool identical;
+    std::uint64_t gates;
+    std::uint64_t cache_hits;
+    std::uint64_t cache_misses;
+    std::uint64_t cache_revalidations;
+};
+
+/**
+ * The deep communication workload: mapping + routing of p-round
+ * hardware-native QAOA over the 65-unit heavy-hex lattice, with AWE
+ * compression pairs committed so placement flips encoded bits (the
+ * regime where whole-cache version keying used to thrash and partial
+ * invalidation pays off). Cached runs share one CompileContext cache
+ * between mapping and routing; uncached runs recompute every Dijkstra
+ * field.
+ */
+QaoaHhBenchResult
+benchQaoaHeavyHex(int reps, int rounds)
+{
+    const Circuit qaoa =
+        decomposeToNativeGates(qaoaHeavyHex(40, rounds));
+    const Topology topo = Topology::heavyHex65();
+    const GateLibrary lib;
+    const InteractionModel im(qaoa);
+
+    CompilerConfig cfg;
+    const auto pairs = AweStrategy().choosePairs(qaoa, topo, lib, cfg);
+
+    MapperOptions mopts;
+    mopts.pairs = pairs;
+
+    std::uint64_t hits = 0, misses = 0, revalidations = 0;
+    auto run = [&](bool use_cache, bool collect_stats) {
+        CompilerConfig run_cfg = cfg;
+        run_cfg.useDistanceCache = use_cache;
+        CompileContext ctx(topo, lib, run_cfg);
+        Layout layout =
+            mapCircuit(qaoa, im, ctx.cost(), mopts, ctx.cache());
+        CompiledCircuit out(layout, "qaoa_hh");
+        RouterOptions ropts;
+        ropts.lookaheadWeight = 0.5;
+        ropts.useDistanceCache = use_cache;
+        routeCircuit(qaoa, layout, ctx.cost(), out, ropts, ctx.cache());
+        if (collect_stats) {
+            hits = ctx.cacheStats().hits();
+            misses = ctx.cacheStats().misses();
+            revalidations = ctx.cacheStats().revalidations();
+        }
+        return out;
+    };
+
+    const auto t0 = Clock::now();
+    CompiledCircuit cached_out;
+    for (int r = 0; r < reps; ++r)
+        cached_out = run(true, r == 0);
+    const double cached_s = secondsSince(t0);
+
+    const auto t1 = Clock::now();
+    CompiledCircuit uncached_out;
+    for (int r = 0; r < reps; ++r)
+        uncached_out = run(false, false);
+    const double uncached_s = secondsSince(t1);
+
+    bool identical = sameGates(cached_out, uncached_out);
+    for (QubitId q = 0; identical && q < qaoa.numQubits(); ++q) {
+        identical = cached_out.finalLayout().slotOf(q) ==
+                    uncached_out.finalLayout().slotOf(q);
+    }
+
+    return {1e3 * cached_s / reps, 1e3 * uncached_s / reps, identical,
+            static_cast<std::uint64_t>(cached_out.numGates()), hits,
+            misses, revalidations};
+}
+
 } // namespace
 
 int
@@ -288,10 +370,13 @@ main(int argc, char **argv)
     const int sim_reps = check ? 3 : (args.quick ? 10 : 40);
     const int grape_reps = check ? 2 : (args.quick ? 5 : 20);
     const int route_reps = check ? 1 : (args.quick ? 3 : 10);
+    const int qaoa_reps = check ? 1 : (args.quick ? 2 : 5);
+    const int qaoa_rounds = check ? 1 : 3;
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
     const RouteBenchResult rt = benchRouting(route_reps);
+    const QaoaHhBenchResult qh = benchQaoaHeavyHex(qaoa_reps, qaoa_rounds);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -299,8 +384,10 @@ main(int argc, char **argv)
         gr.optimized_ms > 0.0 ? gr.naive_ms / gr.optimized_ms : 0.0;
     const double route_speedup =
         rt.cached_ms > 0.0 ? rt.uncached_ms / rt.cached_ms : 0.0;
+    const double qaoa_speedup =
+        qh.cached_ms > 0.0 ? qh.uncached_ms / qh.cached_ms : 0.0;
 
-    char buf[2048];
+    char buf[3072];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -319,7 +406,15 @@ main(int argc, char **argv)
         "    \"route_bv20_uncached_ms\": %.4f,\n"
         "    \"route_speedup\": %.3f,\n"
         "    \"route_gates\": %llu,\n"
-        "    \"route_identical\": %s\n"
+        "    \"route_identical\": %s,\n"
+        "    \"qaoa_hh_cached_ms\": %.4f,\n"
+        "    \"qaoa_hh_uncached_ms\": %.4f,\n"
+        "    \"qaoa_hh_speedup\": %.3f,\n"
+        "    \"qaoa_hh_gates\": %llu,\n"
+        "    \"qaoa_hh_cache_hits\": %llu,\n"
+        "    \"qaoa_hh_cache_misses\": %llu,\n"
+        "    \"qaoa_hh_cache_revalidations\": %llu,\n"
+        "    \"qaoa_hh_identical\": %s\n"
         "  }\n"
         "}\n",
         sim.optimized_ms, sim.naive_ms, sim_speedup, sim.max_diff,
@@ -327,7 +422,12 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(gr.warm_allocs), rt.cached_ms,
         rt.uncached_ms, route_speedup,
         static_cast<unsigned long long>(rt.gates),
-        rt.identical ? "true" : "false");
+        rt.identical ? "true" : "false", qh.cached_ms, qh.uncached_ms,
+        qaoa_speedup, static_cast<unsigned long long>(qh.gates),
+        static_cast<unsigned long long>(qh.cache_hits),
+        static_cast<unsigned long long>(qh.cache_misses),
+        static_cast<unsigned long long>(qh.cache_revalidations),
+        qh.identical ? "true" : "false");
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -354,6 +454,9 @@ main(int argc, char **argv)
                "allocations");
         expect(rt.identical,
                "cached and uncached routing emit identical circuits");
+        expect(qh.identical,
+               "partial-invalidation cached and uncached QAOA/heavy-hex "
+               "mapping+routing emit identical circuits");
         return failures == 0 ? 0 : 1;
     }
     return 0;

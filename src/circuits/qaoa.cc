@@ -1,7 +1,11 @@
 #include "circuits/qaoa.hh"
 
+#include <vector>
+
+#include "arch/topology.hh"
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "common/strings.hh"
 
 namespace qompress {
 
@@ -27,6 +31,51 @@ qaoaFromGraph(const Graph &g, const QaoaOptions &opts,
         }
     }
     return c;
+}
+
+Circuit
+qaoaHeavyHex(int n, int rounds)
+{
+    QFATAL_IF(n < 2, "qaoaHeavyHex needs >= 2 vertices, got ", n);
+    QFATAL_IF(rounds < 1, "qaoaHeavyHex needs >= 1 round, got ", rounds);
+    const Topology hh = Topology::heavyHex65();
+    QFATAL_IF(n > hh.numUnits(), "qaoaHeavyHex capped at ",
+              hh.numUnits(), " vertices, got ", n);
+    const Graph &lattice = hh.graph();
+
+    // BFS order from the lattice center keeps any prefix connected.
+    std::vector<int> keep;
+    std::vector<bool> seen(lattice.numVertices(), false);
+    std::vector<int> queue{hh.centerUnit()};
+    seen[hh.centerUnit()] = true;
+    for (std::size_t qi = 0;
+         qi < queue.size() && static_cast<int>(keep.size()) < n; ++qi) {
+        keep.push_back(queue[qi]);
+        for (const auto &e : lattice.neighbors(queue[qi])) {
+            if (!seen[e.to]) {
+                seen[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    QFATAL_IF(static_cast<int>(keep.size()) < n,
+              "heavy-hex lattice exhausted at ", keep.size(),
+              " vertices");
+
+    std::vector<int> dense(lattice.numVertices(), -1);
+    for (int i = 0; i < n; ++i)
+        dense[keep[i]] = i;
+    Graph sub(n);
+    for (const auto &e : lattice.edges()) {
+        if (dense[e.u] != -1 && dense[e.v] != -1)
+            sub.addEdge(dense[e.u], dense[e.v]);
+    }
+
+    QaoaOptions opts;
+    opts.layers = rounds;
+    opts.order_seed = 29 + static_cast<std::uint64_t>(n);
+    return qaoaFromGraph(sub, opts,
+                         format("qaoa_heavyhex_%d_p%d", n, rounds));
 }
 
 } // namespace qompress

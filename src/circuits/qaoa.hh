@@ -35,6 +35,16 @@ struct QaoaOptions
 Circuit qaoaFromGraph(const Graph &g, const QaoaOptions &opts = {},
                       const std::string &name = "qaoa");
 
+/**
+ * The deep heavy-hex workload: @p rounds-round QAOA whose problem
+ * graph is the IBM 65-qubit heavy-hex lattice itself (hardware-native
+ * QAOA, the cycle-heavy regime where routing-cache reuse compounds).
+ * For @p n < 65 the problem graph is the connected BFS-induced
+ * subgraph of the first @p n lattice sites reached from the lattice
+ * center.
+ */
+Circuit qaoaHeavyHex(int n, int rounds = 2);
+
 } // namespace qompress
 
 #endif // QOMPRESS_CIRCUITS_QAOA_HH

@@ -1,5 +1,7 @@
 #include "circuits/registry.hh"
 
+#include <algorithm>
+
 #include "circuits/arithmetic.hh"
 #include "circuits/bv.hh"
 #include "circuits/cnu.hh"
@@ -52,6 +54,11 @@ benchmarkFamilies()
          [](int n) {
              return makeQaoa(binaryWeldedTreeForSize(n), "qaoa_bwt", n);
          }},
+        // The deep communication workload: hardware-native QAOA on the
+        // heavy-hex lattice (2 cost rounds; bench_hotpaths sweeps the
+        // round count separately).
+        {"qaoa_heavyhex", 8,
+         [](int n) { return qaoaHeavyHex(std::min(n, 65)); }},
     };
     return families;
 }

@@ -19,7 +19,8 @@ struct BenchmarkFamily
 {
     std::string name;    ///< "cuccaro", "cnu", "qram", "bv",
                          ///< "qaoa_random", "qaoa_cylinder",
-                         ///< "qaoa_torus", "qaoa_bwt"
+                         ///< "qaoa_torus", "qaoa_bwt",
+                         ///< "qaoa_heavyhex"
     int minQubits;       ///< smallest sensible instance
 
     /**
@@ -30,7 +31,8 @@ struct BenchmarkFamily
     Circuit (*make)(int size);
 };
 
-/** All eight families from the paper's evaluation (section 6.3). */
+/** The paper's eight evaluation families (section 6.3) plus the
+ *  deep hardware-native heavy-hex QAOA workload. */
 const std::vector<BenchmarkFamily> &benchmarkFamilies();
 
 /** Look up a family by name; throws FatalError when unknown. */

@@ -86,32 +86,125 @@ CostModel::routingDistances(SlotId source, const Layout &layout) const
         });
 }
 
+double
+CostModel::swap4Cost(UnitId u, UnitId v, const Layout &layout) const
+{
+    auto decay = [&](UnitId w) {
+        const double t1 = layout.unitEncoded(w) ? lib_->t1Ququart()
+                                                : lib_->t1Qubit();
+        return std::exp(-lib_->duration(PhysGateClass::SwapFull) / t1);
+    };
+    return -std::log(lib_->fidelity(PhysGateClass::SwapFull) * decay(u) *
+                     decay(v));
+}
+
+ShortestPaths
+CostModel::unitDistances(UnitId source, const Layout &layout) const
+{
+    return dijkstra(
+        xg_->topology().graph(), source,
+        [this, &layout](int u, int v, double) {
+            return swap4Cost(u, v, layout);
+        });
+}
+
+void
+DistanceFieldCache::stamp(Entry &e, const Layout &layout)
+{
+    e.layoutId = layout.instanceId();
+    e.version = layout.costVersion();
+    const int nu = layout.numUnits();
+    e.snap.resize(static_cast<std::size_t>(nu));
+    for (UnitId u = 0; u < nu; ++u) {
+        e.snap[u] = (layout.unitPerturbNonce(u) << 8) |
+                    layout.unitSignature(u);
+    }
+}
+
+bool
+DistanceFieldCache::entryStillValid(const Entry &e, const Layout &layout,
+                                    Relevance rel) const
+{
+    const int nu = layout.numUnits();
+    if (static_cast<int>(e.snap.size()) != nu)
+        return false;
+    // Same instance: units whose epoch has not moved past the stamp
+    // still carry the snapshotted state and can be skipped. A
+    // different instance has an incomparable epoch clock, so every
+    // unit is checked.
+    const bool same_layout = e.layoutId == layout.instanceId();
+    for (UnitId u = 0; u < nu; ++u) {
+        if (same_layout && layout.unitEpoch(u) <= e.version)
+            continue;
+        const std::uint32_t cur =
+            (layout.unitPerturbNonce(u) << 8) | layout.unitSignature(u);
+        // An external perturbation (nonce change) always invalidates.
+        if ((cur >> 8) != (e.snap[u] >> 8))
+            return false;
+        if (rel == Relevance::Occupancy) {
+            if ((cur & 0xff) != (e.snap[u] & 0xff))
+                return false;
+        } else {
+            if (((cur & 0xff) == 3) != ((e.snap[u] & 0xff) == 3))
+                return false;
+        }
+    }
+    return true;
+}
+
+template <typename Compute>
+const ShortestPaths &
+DistanceFieldCache::lookup(std::unordered_map<int, Entry> &entries,
+                           int source, const Layout &layout, Relevance rel,
+                           const Compute &compute)
+{
+    Entry &e = entries[source];
+    if (!e.field.dist.empty()) {
+        if (e.layoutId == layout.instanceId() &&
+            e.version == layout.costVersion()) {
+            ++hits_;
+            return e.field;
+        }
+        if (entryStillValid(e, layout, rel)) {
+            // No depended-on bit changed: adopt the new stamp so the
+            // next lookup takes the O(1) path.
+            stamp(e, layout);
+            ++hits_;
+            ++revalidations_;
+            return e.field;
+        }
+    }
+    e.field = compute(source, layout);
+    stamp(e, layout);
+    ++misses_;
+    return e.field;
+}
+
 const ShortestPaths &
 DistanceFieldCache::routing(SlotId source, const Layout &layout)
 {
-    Entry &e = routing_[source];
-    if (e.field.dist.empty() || e.version != layout.costVersion()) {
-        e.field = cost_->routingDistances(source, layout);
-        e.version = layout.costVersion();
-        ++misses_;
-    } else {
-        ++hits_;
-    }
-    return e.field;
+    return lookup(routing_, source, layout, Relevance::Occupancy,
+                  [this](SlotId s, const Layout &l) {
+                      return cost_->routingDistances(s, l);
+                  });
 }
 
 const ShortestPaths &
 DistanceFieldCache::mapping(SlotId source, const Layout &layout)
 {
-    Entry &e = mapping_[source];
-    if (e.field.dist.empty() || e.version != layout.costVersion()) {
-        e.field = cost_->mappingDistances(source, layout);
-        e.version = layout.costVersion();
-        ++misses_;
-    } else {
-        ++hits_;
-    }
-    return e.field;
+    return lookup(mapping_, source, layout, Relevance::Encoding,
+                  [this](SlotId s, const Layout &l) {
+                      return cost_->mappingDistances(s, l);
+                  });
+}
+
+const ShortestPaths &
+DistanceFieldCache::unit(UnitId source, const Layout &layout)
+{
+    return lookup(unit_, source, layout, Relevance::Encoding,
+                  [this](UnitId u, const Layout &l) {
+                      return cost_->unitDistances(u, l);
+                  });
 }
 
 void
@@ -119,6 +212,7 @@ DistanceFieldCache::clear()
 {
     routing_.clear();
     mapping_.clear();
+    unit_.clear();
 }
 
 } // namespace qompress

@@ -66,6 +66,20 @@ class CostModel
     ShortestPaths routingDistances(SlotId source,
                                    const Layout &layout) const;
 
+    /** -log success of a SWAP4 exchanging the full contents of
+     *  coupled units @p u and @p v (the FQ baseline's only routing
+     *  move). Depends on the layout only through the encoded state of
+     *  the two endpoint units. */
+    double swap4Cost(UnitId u, UnitId v, const Layout &layout) const;
+
+    /**
+     * Unit-level distance field from @p source over the topology
+     * coupling graph with SWAP4 edge costs (the FQ baseline's routing
+     * metric; every qubit-level strategy uses the slot-level fields
+     * above instead).
+     */
+    ShortestPaths unitDistances(UnitId source, const Layout &layout) const;
+
     const ExpandedGraph &expanded() const { return *xg_; }
     const GateLibrary &library() const { return *lib_; }
     double throughQuquartPenalty() const { return penalty_; }
@@ -80,21 +94,38 @@ class CostModel
 };
 
 /**
- * Memoized Dijkstra distance fields keyed on (source slot, layout cost
- * version).
+ * Memoized Dijkstra distance fields with partial invalidation.
  *
- * Edge costs depend on the layout only through slot occupancy, which
- * routing SWAPs (occupied <-> occupied exchanges) never change -- so
- * during a routing round every plan field and lookahead field hits the
- * cache instead of re-running Dijkstra from scratch. A field is
- * recomputed exactly when the layout's costVersion() moved past the
- * version it was cached at (i.e. a place/remove/ENC-style mutation
- * actually perturbed the costs).
+ * Every mapping/routing edge cost is a pure function of per-unit
+ * occupancy signatures (Layout::unitSignature): routing costs read the
+ * full signature (which slot of a unit is occupied gates traversal),
+ * while mapping and unit-level SWAP4 costs read only the encoded bit
+ * (signature == 3). Each cached field is stamped with the layout's
+ * (instanceId, costVersion) and a snapshot of all unit signatures.
+ *
+ * Lookup is a three-tier check:
+ *  1. identical (id, version) stamp -- O(1) hit (the common case
+ *     inside routing, where occupied<->occupied SWAPs never bump the
+ *     version);
+ *  2. stamp moved -- revalidate by scanning units, skipping any whose
+ *     Layout::unitEpoch() has not advanced past the stamp (the
+ *     per-node dirty epoch) and comparing only the signature bits the
+ *     field's family depends on for the rest. A placement that does
+ *     not flip a unit's encoded bit therefore leaves every mapping
+ *     field valid -- the case that made whole-cache version keying
+ *     thrash inside mapCircuit and progressive pairing;
+ *  3. a depended-on bit actually changed -- recompute (a miss).
+ *
+ * Because revalidation compares semantic signatures, one cache can be
+ * shared across distinct Layout instances (progressive pairing remaps
+ * from scratch each round; the exhaustive strategy compiles hundreds
+ * of candidate layouts) and still never serves a stale field.
  *
  * The cache must not outlive mutations of the underlying GateLibrary's
  * durations/fidelities (sensitivity sweeps): those change edge costs
- * without bumping any layout version. Scope one cache per routing (or
- * mapping) pass, as routeCircuit does.
+ * without bumping any layout version. Layout::recordMutation() can
+ * force invalidation in that case; otherwise scope one cache per
+ * compile, as CompileContext does.
  */
 class DistanceFieldCache
 {
@@ -102,31 +133,62 @@ class DistanceFieldCache
     explicit DistanceFieldCache(const CostModel &cost) : cost_(&cost) {}
 
     /** Cached CostModel::routingDistances. The reference stays valid
-     *  until the entry for @p source is invalidated or clear(). */
+     *  until the entry for @p source is recomputed or clear(). */
     const ShortestPaths &routing(SlotId source, const Layout &layout);
 
     /** Cached CostModel::mappingDistances. */
     const ShortestPaths &mapping(SlotId source, const Layout &layout);
 
+    /** Cached CostModel::unitDistances (FQ's SWAP4 routing metric). */
+    const ShortestPaths &unit(UnitId source, const Layout &layout);
+
     void clear();
 
-    /** @name Effectiveness counters (reported by bench_hotpaths). @{ */
+    /** @name Effectiveness counters (reported by bench_hotpaths and
+     *  asserted by the invalidation stress tests). A lookup is exactly
+     *  one of: hit (valid stamp), revalidation (stamp moved but no
+     *  depended-on signature bit changed; also counted as a hit), or
+     *  miss (recompute). @{ */
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    std::uint64_t revalidations() const { return revalidations_; }
     /** @} */
 
   private:
+    /** Which signature bits a field family's edge costs consume. */
+    enum class Relevance
+    {
+        Occupancy, ///< full per-slot occupancy (routing fields)
+        Encoding,  ///< encoded bit only (mapping and SWAP4 fields)
+    };
+
     struct Entry
     {
+        std::uint64_t layoutId = 0;
         std::uint64_t version = 0;
+        /** Per-unit (perturb-nonce << 8) | occupancy-signature at the
+         *  stamp; the nonce part makes recordMutation() perturbations
+         *  (invisible to occupancy bits) fail revalidation. */
+        std::vector<std::uint32_t> snap;
         ShortestPaths field;
     };
 
+    template <typename Compute>
+    const ShortestPaths &lookup(std::unordered_map<int, Entry> &entries,
+                                int source, const Layout &layout,
+                                Relevance rel, const Compute &compute);
+
+    bool entryStillValid(const Entry &e, const Layout &layout,
+                         Relevance rel) const;
+    static void stamp(Entry &e, const Layout &layout);
+
     const CostModel *cost_;
-    std::unordered_map<SlotId, Entry> routing_;
-    std::unordered_map<SlotId, Entry> mapping_;
+    std::unordered_map<int, Entry> routing_;
+    std::unordered_map<int, Entry> mapping_;
+    std::unordered_map<int, Entry> unit_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t revalidations_ = 0;
 };
 
 } // namespace qompress

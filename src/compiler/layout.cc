@@ -1,14 +1,56 @@
 #include "compiler/layout.hh"
 
+#include <atomic>
+
 #include "common/error.hh"
 
 namespace qompress {
 
+namespace {
+
+std::uint64_t
+nextLayoutId()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+Layout::Layout() : id_(nextLayoutId()) {}
+
 Layout::Layout(int num_qubits, int num_units)
     : qubitToSlot_(num_qubits, kInvalid),
-      slotToQubit_(2 * num_units, kInvalid)
+      slotToQubit_(2 * num_units, kInvalid),
+      unitEpoch_(num_units, 0),
+      unitNonce_(num_units, 0),
+      id_(nextLayoutId())
 {
     QFATAL_IF(num_qubits < 0 || num_units < 0, "negative layout size");
+}
+
+Layout::Layout(const Layout &other)
+    : qubitToSlot_(other.qubitToSlot_),
+      slotToQubit_(other.slotToQubit_),
+      unitEpoch_(other.unitEpoch_),
+      unitNonce_(other.unitNonce_),
+      costVersion_(other.costVersion_),
+      id_(nextLayoutId())
+{
+}
+
+Layout &
+Layout::operator=(const Layout &other)
+{
+    if (this != &other) {
+        qubitToSlot_ = other.qubitToSlot_;
+        slotToQubit_ = other.slotToQubit_;
+        unitEpoch_ = other.unitEpoch_;
+        unitNonce_ = other.unitNonce_;
+        costVersion_ = other.costVersion_;
+        id_ = nextLayoutId();
+    }
+    return *this;
 }
 
 SlotId
@@ -36,6 +78,48 @@ Layout::numMapped() const
     return count;
 }
 
+std::uint64_t
+Layout::unitEpoch(UnitId u) const
+{
+    QPANIC_IF(u < 0 || u >= numUnits(), "unitEpoch: bad unit ", u);
+    return unitEpoch_[u];
+}
+
+std::uint8_t
+Layout::unitSignature(UnitId u) const
+{
+    QPANIC_IF(u < 0 || u >= numUnits(), "unitSignature: bad unit ", u);
+    return static_cast<std::uint8_t>(
+        (slotToQubit_[makeSlot(u, 0)] != kInvalid ? 1 : 0) |
+        (slotToQubit_[makeSlot(u, 1)] != kInvalid ? 2 : 0));
+}
+
+std::uint32_t
+Layout::unitPerturbNonce(UnitId u) const
+{
+    QPANIC_IF(u < 0 || u >= numUnits(), "unitPerturbNonce: bad unit ", u);
+    return unitNonce_[u];
+}
+
+void
+Layout::noteOccupancyChange(SlotId slot)
+{
+    ++costVersion_;
+    unitEpoch_[slotUnit(slot)] = costVersion_;
+}
+
+void
+Layout::recordMutation(SlotId slot)
+{
+    QPANIC_IF(slot < 0 || slot >= numSlots(),
+              "recordMutation: bad slot ", slot);
+    noteOccupancyChange(slot);
+    // Occupancy signatures cannot see an external cost change; the
+    // nonce makes cached fields that touched this unit fail
+    // revalidation and recompute.
+    ++unitNonce_[slotUnit(slot)];
+}
+
 void
 Layout::place(QubitId q, SlotId slot)
 {
@@ -43,7 +127,7 @@ Layout::place(QubitId q, SlotId slot)
     QPANIC_IF(qubitAt(slot) != kInvalid, "place: slot ", slot, " occupied");
     qubitToSlot_[q] = slot;
     slotToQubit_[slot] = q;
-    ++costVersion_;
+    noteOccupancyChange(slot);
 }
 
 void
@@ -53,7 +137,7 @@ Layout::remove(QubitId q)
     QPANIC_IF(s == kInvalid, "remove: qubit ", q, " not mapped");
     qubitToSlot_[q] = kInvalid;
     slotToQubit_[s] = kInvalid;
-    ++costVersion_;
+    noteOccupancyChange(s);
 }
 
 void
@@ -70,9 +154,13 @@ Layout::swapSlots(SlotId a, SlotId b)
     if (qb != kInvalid)
         qubitToSlot_[qb] = a;
     // Occupancy (hence every encoding state and edge cost) changes
-    // only when exactly one side was occupied.
-    if ((qa == kInvalid) != (qb == kInvalid))
+    // only when exactly one side was occupied. Both endpoint units
+    // mutate under one version bump.
+    if ((qa == kInvalid) != (qb == kInvalid)) {
         ++costVersion_;
+        unitEpoch_[slotUnit(a)] = costVersion_;
+        unitEpoch_[slotUnit(b)] = costVersion_;
+    }
 }
 
 bool

@@ -25,10 +25,21 @@ namespace qompress {
 class Layout
 {
   public:
-    Layout() = default;
+    Layout();
 
     /** Empty layout over @p num_qubits logical and @p num_units units. */
     Layout(int num_qubits, int num_units);
+
+    /**
+     * Copies get a fresh instance id: DistanceFieldCache stamps cached
+     * fields with (id, costVersion), and two diverging copies share a
+     * version trajectory, so an inherited id would let one copy serve
+     * stale fields computed against the other.
+     */
+    Layout(const Layout &other);
+    Layout &operator=(const Layout &other);
+    Layout(Layout &&) = default;
+    Layout &operator=(Layout &&) = default;
 
     int numQubits() const { return static_cast<int>(qubitToSlot_.size()); }
     int numUnits() const
@@ -74,14 +85,60 @@ class Layout
      * place/remove and on swapSlots between an occupied and an empty
      * slot -- but NOT on the occupied-occupied exchanges routing
      * performs, which leave every edge cost intact. DistanceFieldCache
-     * keys its Dijkstra fields on this version.
+     * uses it as the fast-path validity check for cached fields.
      */
     std::uint64_t costVersion() const { return costVersion_; }
 
+    /**
+     * The costVersion() value at which unit @p u last changed
+     * occupancy (0 if never). Never decreases, and never exceeds
+     * costVersion(). DistanceFieldCache compares it against a field's
+     * stamp to skip units that cannot have perturbed the field --
+     * the per-node dirty epoch behind partial invalidation.
+     */
+    std::uint64_t unitEpoch(UnitId u) const;
+
+    /**
+     * Occupancy signature of unit @p u: bit 0 = position-0 slot
+     * occupied, bit 1 = position-1 slot occupied (so 3 == encoded).
+     * Every mapping/routing edge cost is a pure function of these
+     * signatures; DistanceFieldCache snapshots them per cached field
+     * and revalidates by comparing only the bits a field depends on.
+     */
+    std::uint8_t unitSignature(UnitId u) const;
+
+    /**
+     * Identifies this Layout instance for cache stamping; fresh per
+     * construction and per copy (see the copy constructor), preserved
+     * by moves.
+     */
+    std::uint64_t instanceId() const { return id_; }
+
+    /**
+     * Record an externally caused cost perturbation at @p slot (e.g. a
+     * per-unit calibration change that moves edge costs without moving
+     * a qubit): bumps costVersion(), the owning unit's epoch, AND the
+     * unit's perturbation nonce, so cached distance fields that
+     * touched the unit are *recomputed* -- occupancy signatures alone
+     * cannot see an external change, which is why the nonce exists.
+     * Scoped to this instance (and its copies); a cache shared with an
+     * unrelated Layout built after the perturbation does not see it.
+     */
+    void recordMutation(SlotId slot);
+
+    /** Count of recordMutation() calls against unit @p u; snapshotted
+     *  by DistanceFieldCache alongside the occupancy signature. */
+    std::uint32_t unitPerturbNonce(UnitId u) const;
+
   private:
+    void noteOccupancyChange(SlotId slot);
+
     std::vector<SlotId> qubitToSlot_;
     std::vector<QubitId> slotToQubit_;
+    std::vector<std::uint64_t> unitEpoch_;
+    std::vector<std::uint32_t> unitNonce_;
     std::uint64_t costVersion_ = 0;
+    std::uint64_t id_ = 0;
 };
 
 } // namespace qompress

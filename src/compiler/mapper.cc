@@ -42,7 +42,8 @@ isPairSecond(QubitId q, const std::vector<Compression> &pairs)
 
 Layout
 mapCircuit(const Circuit &circuit, const InteractionModel &im,
-           const CostModel &cost, const MapperOptions &opts)
+           const CostModel &cost, const MapperOptions &opts,
+           DistanceFieldCache *cache)
 {
     const int n = circuit.numQubits();
     const ExpandedGraph &xg = cost.expanded();
@@ -150,27 +151,36 @@ mapCircuit(const Circuit &circuit, const InteractionModel &im,
         // interaction partners (smaller is better).
         SlotId best_s = cands.front();
         if (cands.size() > 1) {
-            // One distance field per placed partner of best_q.
-            std::vector<std::pair<double, ShortestPaths>> fields;
+            // One distance field per placed partner of best_q. Cached
+            // fields are referenced in place (unordered_map elements
+            // are address-stable and no mutation happens between the
+            // fetches below); uncached ones live in `holders`.
+            std::vector<std::pair<double, const ShortestPaths *>> fields;
+            std::vector<ShortestPaths> holders;
+            if (!cache)
+                holders.reserve(im.graph().degree(best_q) + 1);
+            auto fetch = [&](SlotId source) -> const ShortestPaths * {
+                if (cache)
+                    return &cache->mapping(source, layout);
+                holders.push_back(cost.mappingDistances(source, layout));
+                return &holders.back();
+            };
             for (const auto &e : im.graph().neighbors(best_q)) {
                 if (!layout.isMapped(e.to))
                     continue;
-                fields.emplace_back(
-                    e.weight,
-                    cost.mappingDistances(layout.slotOf(e.to), layout));
+                fields.emplace_back(e.weight,
+                                    fetch(layout.slotOf(e.to)));
             }
             if (fields.empty()) {
                 // Untied qubit: prefer staying near the center.
                 fields.emplace_back(
-                    1.0,
-                    cost.mappingDistances(makeSlot(topo.centerUnit(), 0),
-                                          layout));
+                    1.0, fetch(makeSlot(topo.centerUnit(), 0)));
             }
             double best_score = ShortestPaths::kInf;
             for (SlotId s : cands) {
                 double score = 0.0;
                 for (const auto &[w, field] : fields)
-                    score += w * field.dist[s];
+                    score += w * field->dist[s];
                 if (score < best_score) {
                     best_score = score;
                     best_s = s;

@@ -55,10 +55,17 @@ struct MapperOptions
  * after position 0 of the same unit is taken; the second element of a
  * committed pair is forced into its partner's unit.
  *
+ * @param cache optional shared distance-field cache. Mapping edge
+ *        costs depend only on encoded bits, so the placement loop's
+ *        fields stay valid across every placement that does not
+ *        complete a pair -- with partial invalidation the cache pays
+ *        off here even though the layout mutates between queries.
+ *        Placement is identical with and without it.
  * @throws FatalError when the device cannot hold the circuit.
  */
 Layout mapCircuit(const Circuit &circuit, const InteractionModel &im,
-                  const CostModel &cost, const MapperOptions &opts);
+                  const CostModel &cost, const MapperOptions &opts,
+                  DistanceFieldCache *cache = nullptr);
 
 /** Partner lookup table from a pair list (kInvalid when unpaired). */
 std::vector<QubitId> partnerTable(int num_qubits,

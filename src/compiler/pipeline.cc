@@ -1,9 +1,18 @@
 #include "compiler/pipeline.hh"
 
+#include <optional>
+
 #include "common/error.hh"
 #include "ir/passes.hh"
 
 namespace qompress {
+
+CompileContext::CompileContext(const Topology &topo, const GateLibrary &lib,
+                               const CompilerConfig &cfg)
+    : xg_(topo), cost_(xg_, lib, cfg.throughQuquartPenalty),
+      cache_(cost_), use_cache_(cfg.useDistanceCache)
+{
+}
 
 std::vector<Compression>
 encodedPairsOf(const Layout &layout)
@@ -22,19 +31,25 @@ CompileResult
 compileWithPairs(const Circuit &circuit, const Topology &topo,
                  const GateLibrary &lib,
                  const std::vector<Compression> &pairs,
-                 bool allow_dynamic_slot1, const CompilerConfig &cfg)
+                 bool allow_dynamic_slot1, const CompilerConfig &cfg,
+                 CompileContext *ctx)
 {
     const Circuit native = isNative(circuit)
         ? circuit : decomposeToNativeGates(circuit);
 
     const InteractionModel im(native);
-    const ExpandedGraph xg(topo);
-    const CostModel cost(xg, lib, cfg.throughQuquartPenalty);
+    std::optional<CompileContext> local;
+    if (!ctx) {
+        local.emplace(topo, lib, cfg);
+        ctx = &*local;
+    }
+    const CostModel &cost = ctx->cost();
+    DistanceFieldCache *cache = ctx->cache(); // null when caching is off
 
     MapperOptions mopts;
     mopts.allowDynamicSlot1 = allow_dynamic_slot1;
     mopts.pairs = pairs;
-    Layout layout = mapCircuit(native, im, cost, mopts);
+    Layout layout = mapCircuit(native, im, cost, mopts, cache);
 
     CompileResult result;
     result.compressions = encodedPairsOf(layout);
@@ -55,8 +70,11 @@ compileWithPairs(const Circuit &circuit, const Topology &topo,
 
     RouterOptions ropts;
     ropts.lookaheadWeight = cfg.lookaheadWeight;
-    ropts.useDistanceCache = cfg.useDistanceCache;
-    routeCircuit(native, layout, cost, result.compiled, ropts);
+    // The context's construction cfg is the single authority on cache
+    // enablement; keep the router flag in lockstep with it so mapping
+    // and routing can never end up half-cached.
+    ropts.useDistanceCache = cache != nullptr;
+    routeCircuit(native, layout, cost, result.compiled, ropts, cache);
     scheduleCompiled(result.compiled, lib);
     if (cfg.validate)
         validateCompiled(result.compiled, topo);

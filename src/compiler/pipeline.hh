@@ -49,17 +49,67 @@ struct CompileResult
 };
 
 /**
+ * Shared pricing state for one compile: the expanded graph, the cost
+ * model over it, and one mutation-aware distance-field cache that
+ * mapping, routing, and the compression strategies all draw from.
+ *
+ * Before this existed every strategy re-derived its own graph/cost
+ * pair and re-ran Dijkstra ad hoc; sharing one context lets fields
+ * computed while choosing pairs survive into mapping and routing
+ * (partial invalidation keeps them sound across layout mutations and
+ * even across distinct Layout instances).
+ *
+ * Non-copyable: the cost model and cache hold references into the
+ * context's own expanded graph.
+ */
+class CompileContext
+{
+  public:
+    CompileContext(const Topology &topo, const GateLibrary &lib,
+                   const CompilerConfig &cfg);
+
+    CompileContext(const CompileContext &) = delete;
+    CompileContext &operator=(const CompileContext &) = delete;
+
+    const ExpandedGraph &expanded() const { return xg_; }
+    const CostModel &cost() const { return cost_; }
+
+    /** The shared cache, or nullptr when cfg.useDistanceCache was off
+     *  (callers then fall back to direct Dijkstra). */
+    DistanceFieldCache *cache()
+    {
+        return use_cache_ ? &cache_ : nullptr;
+    }
+
+    /** Counter access regardless of enablement (for benches/tests). */
+    const DistanceFieldCache &cacheStats() const { return cache_; }
+
+  private:
+    ExpandedGraph xg_;
+    CostModel cost_;
+    DistanceFieldCache cache_;
+    bool use_cache_;
+};
+
+/**
  * Compile @p circuit onto @p topo with the given committed pairs.
  *
  * @param allow_dynamic_slot1 let the mapper form additional pairs on
  *        its own (the EQM behaviour).
+ * @param ctx optional shared context (must have been built over the
+ *        same topo/lib/cfg pricing; its construction cfg is the single
+ *        authority on whether caching is enabled). The exhaustive
+ *        strategy passes one across its hundreds of candidate compiles
+ *        so distance fields are reused between them. When null a
+ *        compile-local context is used.
  */
 CompileResult compileWithPairs(const Circuit &circuit,
                                const Topology &topo,
                                const GateLibrary &lib,
                                const std::vector<Compression> &pairs,
                                bool allow_dynamic_slot1,
-                               const CompilerConfig &cfg = {});
+                               const CompilerConfig &cfg = {},
+                               CompileContext *ctx = nullptr);
 
 /** The pairs sharing a unit in @p layout (first = position 0). */
 std::vector<Compression> encodedPairsOf(const Layout &layout);

@@ -187,7 +187,8 @@ routeTwoQubitGate(const Gate &g, int gate_idx, Layout &layout,
 
 void
 routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
-             CompiledCircuit &out, const RouterOptions &opts)
+             CompiledCircuit &out, const RouterOptions &opts,
+             DistanceFieldCache *cache)
 {
     QFATAL_IF(!isNative(native),
               "routeCircuit requires a native (1q/CX/SWAP) circuit; run "
@@ -196,10 +197,14 @@ routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
     const auto rem = remainingPath(native);
     const auto &gates = native.gates();
 
-    // One distance-field cache for the whole pass: routing SWAPs never
-    // change slot occupancy, so cached Dijkstra fields stay valid
-    // across rounds (and across gates).
-    DistanceFieldCache cache(cost);
+    // Distance-field cache for the pass: routing SWAPs never change
+    // slot occupancy, so cached Dijkstra fields stay valid across
+    // rounds (and across gates). A caller-provided cache (shared with
+    // mapping via CompileContext) is reused; otherwise a pass-local
+    // one suffices.
+    DistanceFieldCache local_cache(cost);
+    if (!cache)
+        cache = &local_cache;
 
     // For lookahead: the partner of each qubit's next 2q gate after a
     // given gate index. Built lazily per routed gate from a per-qubit
@@ -280,7 +285,7 @@ routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
         });
         for (int i : twoq) {
             routeTwoQubitGate(
-                gates[i], i, layout, cost, cache, out, opts,
+                gates[i], i, layout, cost, *cache, out, opts,
                 [&, i](QubitId q) { return next_partner_after(q, i); });
         }
     }

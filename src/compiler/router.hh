@@ -47,10 +47,18 @@ struct RouterOptions
  * together with SWAP chains along minimum Eq.-4-cost paths over
  * *occupied* slots only (no encodings are created), with paths through
  * foreign ququarts penalized.
+ *
+ * @param cache optional shared distance-field cache (normally the
+ *        CompileContext one, already warm from mapping). When null and
+ *        opts.useDistanceCache is set, a pass-local cache is used as
+ *        before; when opts.useDistanceCache is off every field is
+ *        recomputed directly. Routed output is identical in all three
+ *        modes.
  */
 void routeCircuit(const Circuit &native, Layout &layout,
                   const CostModel &cost, CompiledCircuit &out,
-                  const RouterOptions &opts = {});
+                  const RouterOptions &opts = {},
+                  DistanceFieldCache *cache = nullptr);
 
 /**
  * Replay a compiled circuit from its initial layout, checking every

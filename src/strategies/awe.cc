@@ -7,11 +7,15 @@ namespace qompress {
 std::vector<Compression>
 AweStrategy::choosePairs(const Circuit &native, const Topology &topo,
                          const GateLibrary &lib,
-                         const CompilerConfig &cfg) const
+                         const CompilerConfig &cfg,
+                         CompileContext &ctx) const
 {
+    // AWE scores pairs purely on the interaction graph; the shared
+    // context is consumed downstream by mapping/routing.
     (void)topo;
     (void)lib;
     (void)cfg;
+    (void)ctx;
     const InteractionModel im(native);
     Graph work = im.graph();
     const int n = native.numQubits();

@@ -16,12 +16,14 @@ namespace qompress {
 class AweStrategy : public CompressionStrategy
 {
   public:
+    using CompressionStrategy::choosePairs;
+
     std::string name() const override { return "awe"; }
 
     std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
-                const GateLibrary &lib,
-                const CompilerConfig &cfg) const override;
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const override;
 };
 
 } // namespace qompress

@@ -1,6 +1,7 @@
 #include "strategies/exhaustive.hh"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "common/error.hh"
@@ -12,18 +13,26 @@ std::vector<Compression>
 ExhaustiveStrategy::choosePairs(const Circuit &native,
                                 const Topology &topo,
                                 const GateLibrary &lib,
-                                const CompilerConfig &cfg) const
+                                const CompilerConfig &cfg,
+                                CompileContext &ctx) const
 {
-    return choosePairsWithTrace(native, topo, lib, cfg, nullptr);
+    return choosePairsWithTrace(native, topo, lib, cfg, nullptr, &ctx);
 }
 
 std::vector<Compression>
 ExhaustiveStrategy::choosePairsWithTrace(
     const Circuit &native, const Topology &topo, const GateLibrary &lib,
-    const CompilerConfig &cfg, std::vector<ExhaustiveStep> *trace) const
+    const CompilerConfig &cfg, std::vector<ExhaustiveStep> *trace,
+    CompileContext *ctx) const
 {
     CompilerConfig inner = cfg;
     inner.validate = false; // the final compile still validates
+
+    std::optional<CompileContext> local;
+    if (!ctx) {
+        local.emplace(topo, lib, inner);
+        ctx = &*local;
+    }
 
     const int n = native.numQubits();
     std::vector<Compression> pairs;
@@ -35,7 +44,7 @@ ExhaustiveStrategy::choosePairsWithTrace(
     };
 
     CompileResult best =
-        compileWithPairs(native, topo, lib, pairs, false, inner);
+        compileWithPairs(native, topo, lib, pairs, false, inner, ctx);
 
     while (static_cast<int>(pairs.size()) < n / 2) {
         // Priority groups from the current best compilation's critical
@@ -85,7 +94,7 @@ ExhaustiveStrategy::choosePairsWithTrace(
                     auto cand = pairs;
                     cand.push_back({a, b});
                     CompileResult res = compileWithPairs(
-                        native, topo, lib, cand, false, inner);
+                        native, topo, lib, cand, false, inner, ctx);
                     if (value_of(res) > best_eps) {
                         best_eps = value_of(res);
                         best_pair = {a, b};

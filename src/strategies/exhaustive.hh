@@ -35,6 +35,8 @@ enum class ExhaustiveMetric
 class ExhaustiveStrategy : public CompressionStrategy
 {
   public:
+    using CompressionStrategy::choosePairs;
+
     /** @param ordered use the paper's critical-path priority groups. */
     explicit ExhaustiveStrategy(
         bool ordered = true,
@@ -50,14 +52,19 @@ class ExhaustiveStrategy : public CompressionStrategy
 
     std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
-                const GateLibrary &lib,
-                const CompilerConfig &cfg) const override;
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const override;
 
-    /** choosePairs plus the per-step metric trace. */
+    /** choosePairs plus the per-step metric trace. One CompileContext
+     *  (@p ctx if given, else a local one) is shared across every
+     *  candidate compile, so distance fields computed for one
+     *  candidate layout revalidate for the next instead of being
+     *  recomputed n^2 times. */
     std::vector<Compression>
     choosePairsWithTrace(const Circuit &native, const Topology &topo,
                          const GateLibrary &lib, const CompilerConfig &cfg,
-                         std::vector<ExhaustiveStep> *trace) const;
+                         std::vector<ExhaustiveStep> *trace,
+                         CompileContext *ctx = nullptr) const;
 
   private:
     bool ordered_;

@@ -15,11 +15,13 @@ std::vector<Compression>
 FullQuquartStrategy::choosePairs(const Circuit &native,
                                  const Topology &topo,
                                  const GateLibrary &lib,
-                                 const CompilerConfig &cfg) const
+                                 const CompilerConfig &cfg,
+                                 CompileContext &ctx) const
 {
     (void)topo;
     (void)lib;
     (void)cfg;
+    (void)ctx;
     const InteractionModel im(native);
     const int n = native.numQubits();
 
@@ -55,27 +57,18 @@ FullQuquartStrategy::choosePairs(const Circuit &native,
 
 namespace {
 
-/** Unit-level -log success of a SWAP4 between u and v. */
-double
-swap4Cost(UnitId u, UnitId v, const Layout &layout, const GateLibrary &lib)
-{
-    (void)v;
-    auto decay = [&](UnitId w) {
-        const double t1 = layout.unitEncoded(w) ? lib.t1Ququart()
-                                                : lib.t1Qubit();
-        return std::exp(-lib.duration(PhysGateClass::SwapFull) / t1);
-    };
-    return -std::log(lib.fidelity(PhysGateClass::SwapFull) * decay(u) *
-                     decay(v));
-}
-
 /** FQ-specific emission helpers sharing one mutable state. */
 class FqRouter
 {
   public:
-    FqRouter(const Topology &topo, const GateLibrary &lib, Layout &layout,
-             CompiledCircuit &out)
-        : topo_(topo), lib_(lib), layout_(layout), out_(out)
+    /** @param cache optional shared unit-level distance cache; SWAP4
+     *  chains between two encoded (or two equally occupied) units
+     *  leave every unit signature intact, so successive routing
+     *  rounds revalidate instead of re-running Dijkstra. */
+    FqRouter(const Topology &topo, const CostModel &cost, Layout &layout,
+             CompiledCircuit &out, DistanceFieldCache *cache)
+        : topo_(topo), cost_(cost), layout_(layout), out_(out),
+          cache_(cache)
     {
     }
 
@@ -107,11 +100,10 @@ class FqRouter
             QPANIC_IF(++rounds > 2 * topo_.numUnits(),
                       "FQ unit routing failed to converge");
             // Cheapest SWAP4 path from ua to a neighbour of ub.
-            const auto field = dijkstra(
-                topo_.graph(), ua,
-                [&](int x, int y, double) {
-                    return swap4Cost(x, y, layout_, lib_);
-                });
+            ShortestPaths holder;
+            const ShortestPaths &field = cache_
+                ? cache_->unit(ua, layout_)
+                : (holder = cost_.unitDistances(ua, layout_));
             double best = ShortestPaths::kInf;
             UnitId target = kInvalid;
             for (const auto &e : topo_.graph().neighbors(ub)) {
@@ -230,9 +222,10 @@ class FqRouter
 
   private:
     const Topology &topo_;
-    const GateLibrary &lib_;
+    const CostModel &cost_;
     Layout &layout_;
     CompiledCircuit &out_;
+    DistanceFieldCache *cache_;
 };
 
 } // namespace
@@ -245,7 +238,8 @@ FullQuquartStrategy::compile(const Circuit &circuit, const Topology &topo,
     const Circuit native = isNative(circuit)
         ? circuit : decomposeToNativeGates(circuit);
     const InteractionModel im(native);
-    const auto pairs = choosePairs(native, topo, lib, cfg);
+    CompileContext ctx(topo, lib, cfg);
+    const auto pairs = choosePairs(native, topo, lib, cfg, ctx);
     const int n = native.numQubits();
 
     const int nodes = static_cast<int>(pairs.size()) + (n % 2);
@@ -374,7 +368,8 @@ FullQuquartStrategy::compile(const Circuit &circuit, const Topology &topo,
     }
 
     // --- Qudit-level routing with encode/decode ---------------------
-    FqRouter router(topo, lib, layout, result.compiled);
+    FqRouter router(topo, ctx.cost(), layout, result.compiled,
+                    ctx.cache());
     const auto &gates = native.gates();
     const auto layers = native.asapLayers();
     std::vector<int> idx_order(gates.size());

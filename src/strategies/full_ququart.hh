@@ -18,14 +18,16 @@ namespace qompress {
 class FullQuquartStrategy : public CompressionStrategy
 {
   public:
+    using CompressionStrategy::choosePairs;
+
     std::string name() const override { return "fq"; }
 
     /** Greedy maximum-interaction-weight matching pairing *all* qubits
      *  (one left bare when the count is odd). */
     std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
-                const GateLibrary &lib,
-                const CompilerConfig &cfg) const override;
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const override;
 
     CompileResult compile(const Circuit &circuit, const Topology &topo,
                           const GateLibrary &lib,

@@ -11,11 +11,15 @@ std::vector<Compression>
 ProgressivePairingStrategy::choosePairs(const Circuit &native,
                                         const Topology &topo,
                                         const GateLibrary &lib,
-                                        const CompilerConfig &cfg) const
+                                        const CompilerConfig &cfg,
+                                        CompileContext &ctx) const
 {
+    (void)topo;
+    (void)lib;
+    (void)cfg;
     const InteractionModel im(native);
-    const ExpandedGraph xg(topo);
-    const CostModel cost(xg, lib, cfg.throughQuquartPenalty);
+    const CostModel &cost = ctx.cost();
+    DistanceFieldCache *cache = ctx.cache();
     const int n = native.numQubits();
 
     std::vector<Compression> pairs;
@@ -25,15 +29,29 @@ ProgressivePairingStrategy::choosePairs(const Circuit &native,
         // Full picture: remap with the pairs committed so far (qubits
         // outside pairs strictly one per unit), then price every
         // candidate from distance changes only -- no rerouting, as the
-        // paper prescribes.
+        // paper prescribes. The shared cache survives the remap:
+        // layouts of successive rounds mostly agree on encoded bits,
+        // so signature revalidation turns repeat fields into hits.
         MapperOptions mopts;
         mopts.pairs = pairs;
-        Layout layout = mapCircuit(native, im, cost, mopts);
+        Layout layout = mapCircuit(native, im, cost, mopts, cache);
 
         // One swap-cost distance field per qubit's current slot.
-        std::vector<ShortestPaths> field(n);
-        for (QubitId q = 0; q < n; ++q)
-            field[q] = cost.mappingDistances(layout.slotOf(q), layout);
+        // Cached fields are referenced in place (the layout is not
+        // mutated while they are alive); uncached ones are copied.
+        std::vector<const ShortestPaths *> field(n);
+        std::vector<ShortestPaths> holders;
+        if (!cache)
+            holders.resize(static_cast<std::size_t>(n));
+        for (QubitId q = 0; q < n; ++q) {
+            if (cache) {
+                field[q] = &cache->mapping(layout.slotOf(q), layout);
+            } else {
+                holders[q] = cost.mappingDistances(layout.slotOf(q),
+                                                   layout);
+                field[q] = &holders[q];
+            }
+        }
 
         // Estimated -log-success of all interactions of q if q sits at
         // slot s (distances measured from the partners' sides).
@@ -49,7 +67,7 @@ ProgressivePairingStrategy::choosePairs(const Circuit &native,
                     // Internal gate: cheap fixed interaction.
                     total += count * cost.cxCost(s, ps, layout);
                 } else {
-                    total += count * field[e.to].dist[s];
+                    total += count * field[e.to]->dist[s];
                 }
             }
             return total;

@@ -17,12 +17,14 @@ namespace qompress {
 class ProgressivePairingStrategy : public CompressionStrategy
 {
   public:
+    using CompressionStrategy::choosePairs;
+
     std::string name() const override { return "pp"; }
 
     std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
-                const GateLibrary &lib,
-                const CompilerConfig &cfg) const override;
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const override;
 };
 
 } // namespace qompress

@@ -10,11 +10,15 @@ namespace qompress {
 std::vector<Compression>
 RingBasedStrategy::choosePairs(const Circuit &native, const Topology &topo,
                                const GateLibrary &lib,
-                               const CompilerConfig &cfg) const
+                               const CompilerConfig &cfg,
+                               CompileContext &ctx) const
 {
+    // Cycle detection runs on the interaction graph alone; the shared
+    // context is consumed downstream by mapping/routing.
     (void)topo;
     (void)lib;
     (void)cfg;
+    (void)ctx;
     const InteractionModel im(native);
     Graph work = im.graph(); // contracted as pairs commit
     const int n = native.numQubits();

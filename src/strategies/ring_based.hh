@@ -39,14 +39,16 @@ struct RingBasedOptions
 class RingBasedStrategy : public CompressionStrategy
 {
   public:
+    using CompressionStrategy::choosePairs;
+
     explicit RingBasedStrategy(RingBasedOptions opts = {}) : opts_(opts) {}
 
     std::string name() const override { return "rb"; }
 
     std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
-                const GateLibrary &lib,
-                const CompilerConfig &cfg) const override;
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const override;
 
   private:
     RingBasedOptions opts_;

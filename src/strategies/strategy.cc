@@ -14,9 +14,20 @@ namespace qompress {
 std::vector<Compression>
 CompressionStrategy::choosePairs(const Circuit &, const Topology &,
                                  const GateLibrary &,
-                                 const CompilerConfig &) const
+                                 const CompilerConfig &,
+                                 CompileContext &) const
 {
     return {};
+}
+
+std::vector<Compression>
+CompressionStrategy::choosePairs(const Circuit &native,
+                                 const Topology &topo,
+                                 const GateLibrary &lib,
+                                 const CompilerConfig &cfg) const
+{
+    CompileContext ctx(topo, lib, cfg);
+    return choosePairs(native, topo, lib, cfg, ctx);
 }
 
 CompileResult
@@ -26,9 +37,12 @@ CompressionStrategy::compile(const Circuit &circuit, const Topology &topo,
 {
     const Circuit native = isNative(circuit)
         ? circuit : decomposeToNativeGates(circuit);
-    const auto pairs = choosePairs(native, topo, lib, cfg);
+    // One context end to end: fields warmed while choosing pairs are
+    // reused by the final mapping and routing.
+    CompileContext ctx(topo, lib, cfg);
+    const auto pairs = choosePairs(native, topo, lib, cfg, ctx);
     return compileWithPairs(native, topo, lib, pairs,
-                            allowDynamicSlot1(), cfg);
+                            allowDynamicSlot1(), cfg, &ctx);
 }
 
 std::vector<std::unique_ptr<CompressionStrategy>>

@@ -30,8 +30,22 @@ class CompressionStrategy
     /** Stable identifier ("eqm", "rb", ...). */
     virtual std::string name() const = 0;
 
-    /** Select compression pairs for a *native* circuit. */
+    /**
+     * Select compression pairs for a *native* circuit.
+     *
+     * @param ctx the compile-wide pricing context; strategies that
+     *        price candidates against the device (pp, ec) draw
+     *        distance fields from ctx.cache() instead of re-running
+     *        Dijkstra ad hoc, and fields they warm survive into the
+     *        subsequent mapping/routing of the same compile.
+     */
     virtual std::vector<Compression>
+    choosePairs(const Circuit &native, const Topology &topo,
+                const GateLibrary &lib, const CompilerConfig &cfg,
+                CompileContext &ctx) const;
+
+    /** Convenience overload building a throwaway context. */
+    std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
                 const GateLibrary &lib, const CompilerConfig &cfg) const;
 
@@ -39,7 +53,7 @@ class CompressionStrategy
     virtual bool allowDynamicSlot1() const { return false; }
 
     /** Full compilation; the default decomposes, picks pairs, and runs
-     *  the shared pipeline. */
+     *  the shared pipeline -- all against one CompileContext. */
     virtual CompileResult compile(const Circuit &circuit,
                                   const Topology &topo,
                                   const GateLibrary &lib,

@@ -260,6 +260,130 @@ TEST(HotpathCache, FieldsMatchDirectComputation)
     EXPECT_EQ(direct.dist, recomputed.dist);
 }
 
+TEST(HotpathCache, PartialInvalidationRecomputesExactlyOnDependedChanges)
+{
+    // Interleave layout mutations with distance queries and count
+    // recomputes (misses) via the cache counters: a field must be
+    // recomputed exactly when a unit state it depends on changed.
+    const Topology topo = Topology::ring(8);
+    const GateLibrary lib;
+    const ExpandedGraph xg(topo);
+    const CostModel cost(xg, lib);
+
+    Layout layout(8, 8);
+    layout.place(0, makeSlot(0, 0));
+    layout.place(1, makeSlot(1, 0));
+    layout.place(2, makeSlot(2, 0));
+
+    DistanceFieldCache cache(cost);
+    const SlotId src = makeSlot(0, 0);
+
+    // Cold: one recompute.
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Placement on an empty unit flips no encoded bit: the mapping
+    // field revalidates instead of recomputing.
+    layout.place(3, makeSlot(3, 0));
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.revalidations(), 1u);
+    // And the follow-up query takes the O(1) stamped path.
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.revalidations(), 1u);
+
+    // Completing a pair flips unit 1's encoded bit: recompute, and
+    // the recomputed field must match a direct computation.
+    layout.place(4, makeSlot(1, 1));
+    const auto direct = cost.mappingDistances(src, layout);
+    const auto &refreshed = cache.mapping(src, layout);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(direct.dist, refreshed.dist);
+
+    // Routing fields depend on per-slot occupancy, so the same
+    // empty-unit placement that mapping shrugged off is a routing
+    // recompute...
+    cache.routing(src, layout);
+    EXPECT_EQ(cache.misses(), 3u);
+    layout.place(5, makeSlot(5, 0));
+    cache.mapping(src, layout); // encoded bits unchanged: revalidates
+    EXPECT_EQ(cache.misses(), 3u);
+    cache.routing(src, layout); // occupancy changed: recomputes
+    EXPECT_EQ(cache.misses(), 4u);
+
+    // ...while occupied <-> occupied routing SWAPs invalidate nothing.
+    layout.swapSlots(makeSlot(1, 0), makeSlot(2, 0));
+    const auto hits_before = cache.hits();
+    cache.routing(src, layout);
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.hits(), hits_before + 2);
+
+    // Intra-unit occupied <-> empty swap keeps the unit's occupancy
+    // count (mapping-irrelevant) but moves which slot is occupied
+    // (routing-relevant).
+    layout.swapSlots(makeSlot(5, 0), makeSlot(5, 1));
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.misses(), 4u);
+    cache.routing(src, layout);
+    EXPECT_EQ(cache.misses(), 5u);
+
+    // The recordMutation hook models an external cost perturbation
+    // (e.g. a calibration change) that occupancy signatures cannot
+    // see: the perturbation nonce makes both field families recompute
+    // even though no qubit moved.
+    layout.recordMutation(makeSlot(4, 0));
+    cache.mapping(src, layout);
+    cache.routing(src, layout);
+    EXPECT_EQ(cache.misses(), 7u);
+    // ...and once restamped, lookups are hits again.
+    const auto hits_after = cache.hits();
+    cache.mapping(src, layout);
+    EXPECT_EQ(cache.hits(), hits_after + 1);
+    EXPECT_EQ(cache.misses(), 7u);
+}
+
+TEST(HotpathCache, SurvivesDistinctLayoutInstances)
+{
+    // Progressive pairing and the exhaustive search remap from scratch
+    // each round; a field cached against one Layout instance must be
+    // reused by a different instance with the same relevant state and
+    // never reused when the state differs.
+    const Topology topo = Topology::ring(6);
+    const GateLibrary lib;
+    const ExpandedGraph xg(topo);
+    const CostModel cost(xg, lib);
+    DistanceFieldCache cache(cost);
+
+    Layout a(6, 6);
+    a.place(0, makeSlot(0, 0));
+    a.place(1, makeSlot(0, 1)); // unit 0 encoded
+    a.place(2, makeSlot(2, 0));
+    cache.mapping(0, a);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Same encoded bits, different instance (and different placement
+    // history): revalidation hit.
+    Layout b(6, 6);
+    b.place(3, makeSlot(0, 0));
+    b.place(4, makeSlot(0, 1));
+    b.place(5, makeSlot(4, 0)); // occupancy differs; encoding agrees
+    cache.mapping(0, b);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.revalidations(), 1u);
+
+    // Same instance id trap: a copy diverging from its original must
+    // not serve the original's stamp. The copy gets a fresh id, so
+    // the changed encoding is detected.
+    Layout c = b;
+    c.remove(4); // unit 0 no longer encoded
+    const auto direct = cost.mappingDistances(0, c);
+    const auto &recomputed = cache.mapping(0, c);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(direct.dist, recomputed.dist);
+}
+
 /** Route one circuit twice, cache on/off, and demand identical output. */
 void
 expectSameRouting(const Circuit &circuit, const Topology &topo,

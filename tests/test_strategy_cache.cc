@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Randomized differential harness for the partial-invalidation
+ * distance-field cache: every compression strategy, on every topology
+ * class (ring, grid, heavy-hex), over seeded random/QAOA circuits,
+ * must produce bit-identical compilations with the cache on and off.
+ * This is the safety net for threading one mutation-aware cache
+ * through mapping, routing, and the strategies themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/bv.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "ir/passes.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+const GateLibrary kLib;
+
+/** Strategies exercised on every topology/circuit combination. */
+const std::vector<std::string> kStrategies = {
+    "qubit_only", "eqm", "rb", "awe", "pp", "fq",
+};
+
+void
+expectSameLayout(const Layout &a, const Layout &b, const std::string &ctx)
+{
+    ASSERT_EQ(a.numQubits(), b.numQubits()) << ctx;
+    ASSERT_EQ(a.numSlots(), b.numSlots()) << ctx;
+    for (QubitId q = 0; q < a.numQubits(); ++q)
+        EXPECT_EQ(a.slotOf(q), b.slotOf(q)) << ctx << " qubit " << q;
+}
+
+void
+expectSameCompile(const CompileResult &cached,
+                  const CompileResult &uncached, const std::string &ctx)
+{
+    // Same chosen compressions...
+    ASSERT_EQ(cached.compressions.size(), uncached.compressions.size())
+        << ctx;
+    for (std::size_t i = 0; i < cached.compressions.size(); ++i) {
+        EXPECT_TRUE(cached.compressions[i] == uncached.compressions[i])
+            << ctx << " pair " << i;
+    }
+
+    // ...same placements...
+    expectSameLayout(cached.compiled.initialLayout(),
+                     uncached.compiled.initialLayout(),
+                     ctx + " initial layout");
+    expectSameLayout(cached.compiled.finalLayout(),
+                     uncached.compiled.finalLayout(),
+                     ctx + " final layout");
+
+    // ...same routed gate sequence, field by field...
+    ASSERT_EQ(cached.compiled.numGates(), uncached.compiled.numGates())
+        << ctx;
+    for (int i = 0; i < cached.compiled.numGates(); ++i) {
+        const PhysGate &x = cached.compiled.gates()[i];
+        const PhysGate &y = uncached.compiled.gates()[i];
+        EXPECT_EQ(x.cls, y.cls) << ctx << " gate " << i;
+        EXPECT_EQ(x.slots, y.slots) << ctx << " gate " << i;
+        EXPECT_EQ(x.logical, y.logical) << ctx << " gate " << i;
+        EXPECT_EQ(x.logical2, y.logical2) << ctx << " gate " << i;
+        EXPECT_EQ(x.param, y.param) << ctx << " gate " << i;
+        EXPECT_EQ(x.param2, y.param2) << ctx << " gate " << i;
+        EXPECT_EQ(x.isRouting, y.isRouting) << ctx << " gate " << i;
+        EXPECT_EQ(x.sourceGate, y.sourceGate) << ctx << " gate " << i;
+        EXPECT_EQ(x.start, y.start) << ctx << " gate " << i;
+        EXPECT_EQ(x.duration, y.duration) << ctx << " gate " << i;
+    }
+
+    // ...and bit-identical metrics (same gates -> same arithmetic).
+    EXPECT_EQ(cached.metrics.gateEps, uncached.metrics.gateEps) << ctx;
+    EXPECT_EQ(cached.metrics.coherenceEps, uncached.metrics.coherenceEps)
+        << ctx;
+    EXPECT_EQ(cached.metrics.totalEps, uncached.metrics.totalEps) << ctx;
+    EXPECT_EQ(cached.metrics.durationNs, uncached.metrics.durationNs)
+        << ctx;
+    EXPECT_EQ(cached.metrics.numGates, uncached.metrics.numGates) << ctx;
+    EXPECT_EQ(cached.metrics.numRoutingGates,
+              uncached.metrics.numRoutingGates)
+        << ctx;
+    EXPECT_EQ(cached.metrics.numEncodedUnits,
+              uncached.metrics.numEncodedUnits)
+        << ctx;
+}
+
+/** Compile with the shared cache on and off and demand identity. */
+void
+expectCacheInvariant(const std::string &strategy, const Circuit &circuit,
+                     const Topology &topo, double lookahead = 0.5)
+{
+    const std::string ctx =
+        strategy + " / " + circuit.name() + " / " + topo.name();
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = lookahead;
+
+    cfg.useDistanceCache = true;
+    const CompileResult cached =
+        makeStrategy(strategy)->compile(circuit, topo, kLib, cfg);
+
+    cfg.useDistanceCache = false;
+    const CompileResult uncached =
+        makeStrategy(strategy)->compile(circuit, topo, kLib, cfg);
+
+    expectSameCompile(cached, uncached, ctx);
+}
+
+TEST(StrategyCache, AllStrategiesIdenticalOnRing)
+{
+    const Topology topo = Topology::ring(12);
+    for (const auto &name : kStrategies) {
+        for (std::uint64_t seed : {3u, 17u}) {
+            expectCacheInvariant(
+                name, qaoaFromGraph(randomGraph(8, 0.4, seed)), topo);
+        }
+        expectCacheInvariant(name, bernsteinVazirani(8), topo);
+    }
+}
+
+TEST(StrategyCache, AllStrategiesIdenticalOnGrid)
+{
+    const Topology topo = Topology::grid(12);
+    for (const auto &name : kStrategies) {
+        for (std::uint64_t seed : {5u, 23u}) {
+            expectCacheInvariant(
+                name, qaoaFromGraph(randomGraph(10, 0.4, seed)), topo);
+        }
+        expectCacheInvariant(name, bernsteinVazirani(10), topo);
+    }
+}
+
+TEST(StrategyCache, AllStrategiesIdenticalOnHeavyHex)
+{
+    const Topology topo = Topology::heavyHex65();
+    for (const auto &name : kStrategies) {
+        expectCacheInvariant(
+            name, qaoaFromGraph(randomGraph(16, 0.3, 7)), topo);
+        // The deep hardware-native workload itself.
+        expectCacheInvariant(name, qaoaHeavyHex(16), topo);
+    }
+}
+
+TEST(StrategyCache, ExhaustiveIdenticalOnSmallCircuits)
+{
+    // ec recompiles n^2 candidates per committed pair; keep it small
+    // but cover both the shared-context candidate loop and the final
+    // compile.
+    expectCacheInvariant("ec", bernsteinVazirani(6), Topology::grid(6));
+    expectCacheInvariant(
+        "ec", qaoaFromGraph(randomGraph(6, 0.5, 13)), Topology::grid(6));
+}
+
+TEST(StrategyCache, LookaheadOffAlsoIdentical)
+{
+    // lookahead 0 takes a different field-fetch path in the router.
+    const Topology topo = Topology::grid(9);
+    for (const auto &name : kStrategies) {
+        expectCacheInvariant(
+            name, qaoaFromGraph(randomGraph(9, 0.4, 41)), topo,
+            /*lookahead=*/0.0);
+    }
+}
+
+} // namespace
+} // namespace qompress

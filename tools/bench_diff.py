@@ -8,9 +8,14 @@ exits nonzero when any *_ms timing regresses beyond the threshold.
 
 Usage:
     tools/bench_diff.py baseline.json candidate.json [--threshold=1.10]
+    tools/bench_diff.py baseline.json candidate.json --regress-threshold=10
 
 Timings (metrics ending in "_ms") count as regressions when candidate
 exceeds baseline * threshold; other metrics are informational.
+
+--regress-threshold=N expresses the same gate as a percentage: exit
+non-zero when any timed section slows down by more than N%. It is the
+flag CI snapshots gate on (equivalent to --threshold=1+N/100).
 """
 
 import json
@@ -45,6 +50,19 @@ def main(argv):
             except ValueError:
                 print(f"bad threshold: {a}", file=sys.stderr)
                 return 2
+        elif a.startswith("--regress-threshold="):
+            # Percent slowdown allowed per timed section, e.g.
+            # --regress-threshold=10 fails on any >10% *_ms slowdown.
+            try:
+                pct = float(a.split("=", 1)[1])
+            except ValueError:
+                print(f"bad regress threshold: {a}", file=sys.stderr)
+                return 2
+            if pct < 0:
+                print(f"regress threshold must be >= 0: {a}",
+                      file=sys.stderr)
+                return 2
+            threshold = 1.0 + pct / 100.0
         else:
             print(f"unknown flag: {a}", file=sys.stderr)
             return 2
