@@ -1,25 +1,28 @@
 /**
  * @file
- * Hot-path benchmark: times the four compute-heavy loops of the
+ * Hot-path benchmark: times the five compute-heavy loops of the
  * toolchain -- mixed-radix statevector gate application, one GRAPE
- * gradient iteration, SWAP routing over the expanded graph, and full
- * mapping+routing of the deep QAOA/heavy-hex workload -- against the
- * retained naive/uncached reference paths in the same binary, and
+ * gradient iteration, SWAP routing over the expanded graph, full
+ * mapping+routing of the deep QAOA/heavy-hex workload, and the
+ * exhaustive strategy's candidate-pair sweep on heavyHex65 (serial vs
+ * thread-pool fan-out at 2/4/8 lanes) -- against the retained
+ * naive/uncached/serial reference paths in the same binary, and
  * emits machine-readable JSON (the BENCH_*.json trajectory; compare
  * runs with tools/bench_diff.py --regress-threshold).
  *
  * Flags:
  *   --check      differential mode: assert optimized kernels agree
  *                with references (1e-10), that a warm GRAPE gradient
- *                step performs zero heap allocations, and that cached
+ *                step performs zero heap allocations, that cached
  *                (partial-invalidation) and uncached mapping+routing
- *                emit identical circuits; exits nonzero on violation.
- *                Registered under ctest label "bench".
+ *                emit identical circuits, and that the exhaustive
+ *                search picks bit-identical pairings at every lane
+ *                count; exits nonzero on violation. Registered under
+ *                ctest label "bench".
  *   --quick      smaller repetition counts.
  *   --out=FILE   also write the JSON to FILE.
  */
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -33,6 +36,7 @@
 
 #include "bench_util.hh"
 #include "circuits/bv.hh"
+#include "circuits/graphs.hh"
 #include "circuits/qaoa.hh"
 #include "common/rng.hh"
 #include "compiler/pipeline.hh"
@@ -42,19 +46,32 @@
 #include "pulse/targets.hh"
 #include "sim/statevector.hh"
 #include "strategies/awe.hh"
+#include "strategies/exhaustive.hh"
 
 // ------------------------------------------------------------------
-// Allocation-counting hook: every global operator new bumps a counter
-// so the bench can assert that the GRAPE inner loop is allocation-free
-// once its workspace is warm.
+// Allocation-counting hook: every global operator new bumps a
+// thread-local counter. Thread-local rather than a process-wide
+// atomic for two reasons: once the thread pool exists in-process,
+// worker threads may allocate (queue nodes, lane contexts)
+// concurrently with the GRAPE zero-alloc window and a global counter
+// would blame those allocations on the GRAPE step; and a shared
+// atomic would put a contended RMW into every allocation during the
+// multithreaded exhaustive sections this bench times.
 // ------------------------------------------------------------------
 
-static std::atomic<std::uint64_t> g_alloc_count{0};
+static thread_local std::uint64_t t_alloc_count = 0;
+
+// GCC cannot see that the replaced operator new below is malloc-backed
+// and (once the counters perturb inlining) flags the free() in the
+// matching operator delete as a mismatched pair; it is not.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 
 void *
 operator new(std::size_t size)
 {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    ++t_alloc_count;
     void *p = std::malloc(size);
     if (!p)
         throw std::bad_alloc();
@@ -64,7 +81,7 @@ operator new(std::size_t size)
 void *
 operator new[](std::size_t size)
 {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    ++t_alloc_count;
     void *p = std::malloc(size);
     if (!p)
         throw std::bad_alloc();
@@ -87,33 +104,6 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/** One gate in the statevector workload. */
-struct SimGate
-{
-    std::vector<int> units;
-    GateMatrix u;
-};
-
-/** A representative mixed-radix workload on a 10-qudit state:
- *  single-qudit gates on every unit plus two-qudit gates on every
- *  adjacent pair (k = 4, 8, 16 depending on dims). */
-std::vector<SimGate>
-simWorkload(const std::vector<int> &dims, Rng &rng)
-{
-    std::vector<SimGate> gates;
-    const int n = static_cast<int>(dims.size());
-    for (int u = 0; u < n; ++u) {
-        gates.push_back(
-            {{u}, bench::randomUnitary(static_cast<std::size_t>(dims[u]), rng)});
-    }
-    for (int u = 0; u + 1 < n; ++u) {
-        const std::size_t k =
-            static_cast<std::size_t>(dims[u]) * dims[u + 1];
-        gates.push_back({{u, u + 1}, bench::randomUnitary(k, rng)});
-    }
-    return gates;
-}
-
 struct SimResult
 {
     double optimized_ms;
@@ -126,7 +116,7 @@ benchStatevector(int reps)
 {
     Rng rng(12345);
     const std::vector<int> dims = {4, 2, 4, 2, 4, 2, 4, 2, 4, 2};
-    const auto gates = simWorkload(dims, rng);
+    const auto gates = bench::mixedGateWorkload(dims, rng);
 
     // Start both kernels from the same random product state.
     MixedRadixState fast = bench::randomState(dims, rng);
@@ -180,13 +170,13 @@ benchGrape(int reps)
     double fid = 0.0, leak = 0.0;
 
     // Warm-up sizes every workspace buffer; afterwards a gradient
-    // step must not touch the heap.
+    // step must not touch the heap. Measured on the thread-local
+    // counter so concurrent pool-thread allocations cannot leak into
+    // the window.
     grape.objectiveAndGradient(controls, grad, fid, leak, ws);
-    const std::uint64_t before =
-        g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t before = t_alloc_count;
     grape.objectiveAndGradient(controls, grad, fid, leak, ws);
-    const std::uint64_t warm_allocs =
-        g_alloc_count.load(std::memory_order_relaxed) - before;
+    const std::uint64_t warm_allocs = t_alloc_count - before;
 
     const auto t0 = Clock::now();
     for (int r = 0; r < reps; ++r)
@@ -353,6 +343,67 @@ benchQaoaHeavyHex(int reps, int rounds)
             misses, revalidations};
 }
 
+struct ExhaustiveBenchResult
+{
+    double serial_ms; // 1 lane
+    double t2_ms;
+    double t4_ms;
+    double t8_ms;
+    bool identical; // same pairing at every lane count
+    std::uint64_t pairs;
+};
+
+/**
+ * The candidate-sweep workload: the exhaustive (ec) strategy on a
+ * seeded QAOA circuit over heavyHex65, where every committed pair
+ * costs O(n^2) full candidate compiles. One lane is the serial
+ * baseline; 2/4/8 lanes fan the candidate compiles over the thread
+ * pool with one CompileContext per lane. The sweep is embarrassingly
+ * parallel, so on a machine with >= 4 cores the 4-lane run should
+ * approach 4x; pairings must be bit-identical at every lane count
+ * (deterministic serial reduction over candidate scores).
+ */
+ExhaustiveBenchResult
+benchExhaustive(int qubits)
+{
+    const Circuit qaoa =
+        decomposeToNativeGates(qaoaFromGraph(randomGraph(qubits, 0.4, 11)));
+    const Topology topo = Topology::heavyHex65();
+    const GateLibrary lib;
+    const ExhaustiveStrategy ec;
+
+    auto run = [&](int lanes, double &ms) {
+        CompilerConfig cfg;
+        cfg.lookaheadWeight = 0.5;
+        cfg.threads = lanes;
+        CompileContext ctx(topo, lib, cfg);
+        const auto t0 = Clock::now();
+        auto pairs = ec.choosePairs(qaoa, topo, lib, cfg, ctx);
+        ms = 1e3 * secondsSince(t0);
+        return pairs;
+    };
+
+    ExhaustiveBenchResult res{};
+    // Discarded warmups: lanes=0 constructs and warms the process
+    // pool (the one a run whose lane count equals the process default
+    // will reuse) and lanes=8 pays allocator growth and cold caches on
+    // the private-pool path, so the serial baseline that follows does
+    // not absorb one-time process costs. A timed run whose lane count
+    // differs from the process default still spawns its private pool
+    // inside choosePairs — lanes-1 thread spawns, well under 1% of
+    // the ~90 ms workload.
+    double warmup_ms = 0.0;
+    run(0, warmup_ms);
+    run(8, warmup_ms);
+    const auto p1 = run(1, res.serial_ms);
+    const auto p2 = run(2, res.t2_ms);
+    const auto p4 = run(4, res.t4_ms);
+    const auto p8 = run(8, res.t8_ms);
+    res.identical = p1 == p2 && p1 == p4 && p1 == p8;
+    res.pairs = static_cast<std::uint64_t>(p1.size());
+    return res;
+}
+
 } // namespace
 
 int
@@ -372,11 +423,13 @@ main(int argc, char **argv)
     const int route_reps = check ? 1 : (args.quick ? 3 : 10);
     const int qaoa_reps = check ? 1 : (args.quick ? 2 : 5);
     const int qaoa_rounds = check ? 1 : 3;
+    const int exh_qubits = check ? 6 : (args.quick ? 8 : 12);
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
     const RouteBenchResult rt = benchRouting(route_reps);
     const QaoaHhBenchResult qh = benchQaoaHeavyHex(qaoa_reps, qaoa_rounds);
+    const ExhaustiveBenchResult ex = benchExhaustive(exh_qubits);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -386,8 +439,10 @@ main(int argc, char **argv)
         rt.cached_ms > 0.0 ? rt.uncached_ms / rt.cached_ms : 0.0;
     const double qaoa_speedup =
         qh.cached_ms > 0.0 ? qh.uncached_ms / qh.cached_ms : 0.0;
+    const double exh_speedup_t4 =
+        ex.t4_ms > 0.0 ? ex.serial_ms / ex.t4_ms : 0.0;
 
-    char buf[3072];
+    char buf[4096];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -414,7 +469,14 @@ main(int argc, char **argv)
         "    \"qaoa_hh_cache_hits\": %llu,\n"
         "    \"qaoa_hh_cache_misses\": %llu,\n"
         "    \"qaoa_hh_cache_revalidations\": %llu,\n"
-        "    \"qaoa_hh_identical\": %s\n"
+        "    \"qaoa_hh_identical\": %s,\n"
+        "    \"exhaustive_hh_serial_ms\": %.4f,\n"
+        "    \"exhaustive_hh_t2_ms\": %.4f,\n"
+        "    \"exhaustive_hh_t4_ms\": %.4f,\n"
+        "    \"exhaustive_hh_t8_ms\": %.4f,\n"
+        "    \"exhaustive_hh_speedup_t4\": %.3f,\n"
+        "    \"exhaustive_hh_pairs\": %llu,\n"
+        "    \"exhaustive_hh_identical\": %s\n"
         "  }\n"
         "}\n",
         sim.optimized_ms, sim.naive_ms, sim_speedup, sim.max_diff,
@@ -427,7 +489,10 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(qh.cache_hits),
         static_cast<unsigned long long>(qh.cache_misses),
         static_cast<unsigned long long>(qh.cache_revalidations),
-        qh.identical ? "true" : "false");
+        qh.identical ? "true" : "false", ex.serial_ms, ex.t2_ms,
+        ex.t4_ms, ex.t8_ms, exh_speedup_t4,
+        static_cast<unsigned long long>(ex.pairs),
+        ex.identical ? "true" : "false");
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -457,6 +522,9 @@ main(int argc, char **argv)
         expect(qh.identical,
                "partial-invalidation cached and uncached QAOA/heavy-hex "
                "mapping+routing emit identical circuits");
+        expect(ex.identical,
+               "exhaustive search chooses bit-identical pairings at "
+               "1/2/4/8 lanes");
         return failures == 0 ? 0 : 1;
     }
     return 0;

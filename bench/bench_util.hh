@@ -158,6 +158,33 @@ maxAmpDiff(const MixedRadixState &a, const MixedRadixState &b)
         worst = std::max(worst, std::abs(a.amp(i) - b.amp(i)));
     return worst;
 }
+
+/** One gate of a random statevector workload. */
+struct WorkloadGate
+{
+    std::vector<int> units;
+    GateMatrix u;
+};
+
+/** Representative mixed-radix workload: one random single-qudit
+ *  unitary per unit plus one random two-qudit unitary per adjacent
+ *  pair (k = 4, 8, 16 depending on dims). */
+inline std::vector<WorkloadGate>
+mixedGateWorkload(const std::vector<int> &dims, Rng &rng)
+{
+    std::vector<WorkloadGate> gates;
+    const int n = static_cast<int>(dims.size());
+    for (int u = 0; u < n; ++u) {
+        gates.push_back(
+            {{u}, randomUnitary(static_cast<std::size_t>(dims[u]), rng)});
+    }
+    for (int u = 0; u + 1 < n; ++u) {
+        const std::size_t k =
+            static_cast<std::size_t>(dims[u]) * dims[u + 1];
+        gates.push_back({{u, u + 1}, randomUnitary(k, rng)});
+    }
+    return gates;
+}
 /** @} */
 
 } // namespace qompress::bench

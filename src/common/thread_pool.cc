@@ -1,0 +1,186 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+/** Set while a thread is draining parallelFor work — for workers the
+ *  whole loop, for the calling thread its lane-0 drain. Read by
+ *  onWorkerThread() so nested parallelFor calls degrade to inline
+ *  execution: from a worker to avoid deadlocking its own pool, from
+ *  the caller so a nested sweep can never run concurrently with the
+ *  outer sweep's lanes (which would break per-lane scratch
+ *  exclusivity). */
+thread_local bool t_on_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads < 1 ? 1 : threads)
+{
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        QPANIC_IF(stopping_, "ThreadPool: submit after shutdown");
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task(); // packaged_task-style wrappers capture their own errors
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t i, int lane)> &fn)
+{
+    if (begin >= end)
+        return;
+
+    // Inline paths: trivial range, no workers, or already on a worker
+    // (nested fan-out would block a lane on work only that lane can
+    // run; running inline is always correct because lanes only gate
+    // scratch-state aliasing, not results).
+    if (end - begin == 1 || workers_.empty() || t_on_worker) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<std::size_t> next;
+        std::mutex err_mu;
+        std::exception_ptr first_error;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->next.store(begin, std::memory_order_relaxed);
+
+    auto drain = [shared, end, &fn](int lane) {
+        for (;;) {
+            // Stop grabbing work once any lane failed: remaining
+            // indices are abandoned, matching "first exception wins".
+            {
+                std::lock_guard<std::mutex> lock(shared->err_mu);
+                if (shared->first_error)
+                    return;
+            }
+            const std::size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end)
+                return;
+            try {
+                fn(i, lane);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared->err_mu);
+                if (!shared->first_error)
+                    shared->first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    // One drainer per worker lane; the caller drains as lane 0 with
+    // the worker flag raised so its fn bodies count as "on a worker"
+    // (nested sweeps inline). The futures double as the join barrier.
+    // If submit() itself throws (task allocation failure), flag
+    // first_error so already-running drainers stop grabbing work, then
+    // fall through to the join below — fn and the caller's scratch
+    // must outlive every enqueued drainer before we rethrow.
+    const int lanes = threads_;
+    std::vector<std::future<void>> joins;
+    joins.reserve(static_cast<std::size_t>(lanes - 1));
+    std::exception_ptr submit_error;
+    try {
+        for (int lane = 1; lane < lanes; ++lane)
+            joins.push_back(submit([drain, lane] { drain(lane); }));
+    } catch (...) {
+        submit_error = std::current_exception();
+        std::lock_guard<std::mutex> lock(shared->err_mu);
+        if (!shared->first_error)
+            shared->first_error = submit_error;
+    }
+    if (!submit_error) {
+        t_on_worker = true;
+        drain(0); // never throws; errors land in first_error
+        t_on_worker = false;
+    }
+    for (auto &f : joins)
+        f.get();
+
+    if (submit_error)
+        std::rethrow_exception(submit_error);
+    if (shared->first_error)
+        std::rethrow_exception(shared->first_error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+int
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("QOMPRESS_THREADS")) {
+        try {
+            const int n = std::stoi(env);
+            if (n >= 1)
+                return n;
+        } catch (...) {
+            // fall through to hardware_concurrency
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_worker;
+}
+
+} // namespace qompress

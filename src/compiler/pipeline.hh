@@ -37,6 +37,15 @@ struct CompilerConfig
     /** Run the structural validator on every compile (cheap; the
      *  exhaustive strategy turns it off in its inner loop). */
     bool validate = true;
+
+    /**
+     * Lanes for candidate fan-out (the exhaustive strategy's parallel
+     * pair sweep): 0 = ThreadPool::defaultThreadCount() (the
+     * QOMPRESS_THREADS env override, else hardware_concurrency);
+     * 1 = force serial; N > 1 = exactly N lanes. The chosen pairing is
+     * bit-identical across all settings; only wall-clock changes.
+     */
+    int threads = 0;
 };
 
 /** Everything a compile produces. */
@@ -61,6 +70,13 @@ struct CompileResult
  *
  * Non-copyable: the cost model and cache hold references into the
  * context's own expanded graph.
+ *
+ * Thread-safety: a CompileContext is single-writer state — the cache
+ * mutates on every lookup — so it must never be shared across
+ * concurrently running compiles. Parallel callers (the exhaustive
+ * strategy's fan-out) build one context per lane; contexts over the
+ * same topo/lib/cfg are interchangeable result-wise because caching
+ * never changes what a compile emits, only how fast it prices paths.
  */
 class CompileContext
 {
@@ -102,6 +118,9 @@ class CompileContext
  *        strategy passes one across its hundreds of candidate compiles
  *        so distance fields are reused between them. When null a
  *        compile-local context is used.
+ *
+ * Reentrant: safe to call from multiple threads at once provided each
+ * call gets its own @p ctx (or null); all other inputs are read-only.
  */
 CompileResult compileWithPairs(const Circuit &circuit,
                                const Topology &topo,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 
 namespace qompress {
 
@@ -153,7 +154,169 @@ bumpOdometer(std::size_t &base, std::vector<int> &digit,
     }
 }
 
+std::size_t g_shard_threshold = std::size_t(1) << 18;
+ThreadPool *g_shard_pool = nullptr; // null = ThreadPool::global()
+
+/** The 2^26-amplitude cap bounds a state at 26 dim->=2 units, so
+ *  odometer digit/dim/stride sets always fit on the stack. */
+constexpr int kMaxUnits = 32;
+
+/** Raw-pointer odometer state over the complement units: a stack copy
+ *  of the dims/strides the range kernels iterate with, so the hot
+ *  loops see provably loop-invariant locals instead of vector loads
+ *  the optimizer must assume the amplitude stores could alias. */
+struct Odometer
+{
+    int n = 0;
+    int digit[kMaxUnits];
+    int dims[kMaxUnits];
+    std::size_t strides[kMaxUnits];
+
+    Odometer(const std::vector<int> &d, const std::vector<std::size_t> &s)
+        : n(static_cast<int>(d.size()))
+    {
+        QPANIC_IF(n > kMaxUnits,
+                  "Odometer: ", n, " units exceeds stack capacity");
+        for (int t = 0; t < n; ++t) {
+            digit[t] = 0;
+            dims[t] = d[t];
+            strides[t] = s[t];
+        }
+    }
+
+    /** Position at block @p blk (mixed-radix decompose, rightmost
+     *  digit least significant — the order bump() advances in) and
+     *  return its base index. Called once per shard; div/mod cost is
+     *  irrelevant. */
+    std::size_t
+    seek(std::size_t blk)
+    {
+        std::size_t base = 0;
+        for (int t = n - 1; t >= 0; --t) {
+            const int d =
+                static_cast<int>(blk % static_cast<std::size_t>(dims[t]));
+            blk /= static_cast<std::size_t>(dims[t]);
+            digit[t] = d;
+            base += static_cast<std::size_t>(d) * strides[t];
+        }
+        return base;
+    }
+
+    /** Advance @p base by one block with stride carries (no div/mod). */
+    inline void
+    bump(std::size_t &base)
+    {
+        for (int t = n - 1; t >= 0; --t) {
+            base += strides[t];
+            if (++digit[t] < dims[t])
+                return;
+            base -= strides[t] * static_cast<std::size_t>(dims[t]);
+            digit[t] = 0;
+        }
+    }
+};
+
+// The three gate kernels, each over a complement-block range
+// [lo, hi). Free functions rather than local lambdas so the serial
+// call site stays a direct (inlinable) call with no closure escaping
+// into std::function — that escape measurably deoptimized the hot
+// loops when the kernels were first shared with the sharded path.
+
+void
+runK2(Cplx *amps, Cplx m00, Cplx m01, Cplx m10, Cplx m11, std::size_t s1,
+      std::size_t lo, std::size_t hi, const std::vector<int> &rest_dims,
+      const std::vector<std::size_t> &rest_str)
+{
+    Odometer odo(rest_dims, rest_str);
+    std::size_t base = odo.seek(lo);
+    for (std::size_t blk = lo; blk < hi; ++blk) {
+        const Cplx a0 = amps[base];
+        const Cplx a1 = amps[base + s1];
+        amps[base] = m00 * a0 + m01 * a1;
+        amps[base + s1] = m10 * a0 + m11 * a1;
+        odo.bump(base);
+    }
+}
+
+void
+runK4(Cplx *amps, const Cplx m[16], std::size_t s1, std::size_t s2,
+      std::size_t s3, std::size_t lo, std::size_t hi,
+      const std::vector<int> &rest_dims,
+      const std::vector<std::size_t> &rest_str)
+{
+    // Local copy: the caller's matrix lives behind a pointer the
+    // amplitude stores could alias; registers/stack slots cannot.
+    Cplx lm[16];
+    for (int i = 0; i < 16; ++i)
+        lm[i] = m[i];
+    Odometer odo(rest_dims, rest_str);
+    std::size_t base = odo.seek(lo);
+    for (std::size_t blk = lo; blk < hi; ++blk) {
+        const Cplx a0 = amps[base];
+        const Cplx a1 = amps[base + s1];
+        const Cplx a2 = amps[base + s2];
+        const Cplx a3 = amps[base + s3];
+        amps[base] = lm[0] * a0 + lm[1] * a1 + lm[2] * a2 + lm[3] * a3;
+        amps[base + s1] =
+            lm[4] * a0 + lm[5] * a1 + lm[6] * a2 + lm[7] * a3;
+        amps[base + s2] =
+            lm[8] * a0 + lm[9] * a1 + lm[10] * a2 + lm[11] * a3;
+        amps[base + s3] =
+            lm[12] * a0 + lm[13] * a1 + lm[14] * a2 + lm[15] * a3;
+        odo.bump(base);
+    }
+}
+
+void
+runGeneral(Cplx *amps, std::size_t k, const std::vector<std::size_t> &offset,
+           const std::vector<std::size_t> &row_begin,
+           const std::vector<std::size_t> &nz_col,
+           const std::vector<Cplx> &nz_val, std::size_t lo, std::size_t hi,
+           const std::vector<int> &rest_dims,
+           const std::vector<std::size_t> &rest_str)
+{
+    std::vector<Cplx> in(k);
+    // Fresh local copy of the nonzero values: the caller's vector is a
+    // Cplx array the amplitude stores could alias, which would force a
+    // reload of every coefficient per block; a freshly allocated copy
+    // is provably disjoint.
+    const std::vector<Cplx> vals(nz_val);
+    Odometer odo(rest_dims, rest_str);
+    std::size_t base = odo.seek(lo);
+    for (std::size_t blk = lo; blk < hi; ++blk) {
+        for (std::size_t li = 0; li < k; ++li)
+            in[li] = amps[base + offset[li]];
+        for (std::size_t row = 0; row < k; ++row) {
+            Cplx acc = 0.0;
+            for (std::size_t p = row_begin[row]; p < row_begin[row + 1];
+                 ++p) {
+                acc += vals[p] * in[nz_col[p]];
+            }
+            amps[base + offset[row]] = acc;
+        }
+        odo.bump(base);
+    }
+}
+
 } // namespace
+
+void
+MixedRadixState::setShardThreshold(std::size_t amps)
+{
+    g_shard_threshold = amps;
+}
+
+std::size_t
+MixedRadixState::shardThreshold()
+{
+    return g_shard_threshold;
+}
+
+void
+MixedRadixState::setShardPool(ThreadPool *pool)
+{
+    g_shard_pool = pool;
+}
 
 void
 MixedRadixState::applyUnitary(const std::vector<int> &units,
@@ -193,20 +356,51 @@ MixedRadixState::applyUnitary(const std::vector<int> &units,
         }
     }
     const std::size_t blocks = size() / k;
-    std::vector<int> rdigit(rest_dims.size(), 0);
     Cplx *amps = amps_.data();
+
+    // Sharding decision: every complement block touches a disjoint set
+    // of amplitudes, so block ranges can run on different lanes with
+    // no synchronization; each lane seeks the odometer to its first
+    // block and then runs the identical serial kernel, keeping the
+    // result bit-identical to the single-lane path. Calls already on a
+    // pool worker stay serial (no nested fan-out).
+    int lanes = 1;
+    ThreadPool *pool = nullptr;
+    if (amps_.size() >= g_shard_threshold && !ThreadPool::onWorkerThread()) {
+        pool = g_shard_pool ? g_shard_pool : &ThreadPool::global();
+        lanes = pool->numThreads();
+        if (lanes <= 1 ||
+            blocks < static_cast<std::size_t>(lanes) * 4) {
+            lanes = 1;
+            pool = nullptr;
+        }
+    }
+
+    // One contiguous chunk per lane; chunk c covers
+    // [blocks*c/lanes, blocks*(c+1)/lanes).
+    auto shard = [&](const std::function<void(std::size_t, std::size_t)>
+                         &kernel) {
+        const std::size_t nchunks = static_cast<std::size_t>(lanes);
+        pool->parallelFor(0, nchunks, [&](std::size_t c, int) {
+            const std::size_t lo = blocks * c / nchunks;
+            const std::size_t hi = blocks * (c + 1) / nchunks;
+            if (lo < hi)
+                kernel(lo, hi);
+        });
+    };
 
     if (k == 2) {
         const Cplx m00 = u[0][0], m01 = u[0][1];
         const Cplx m10 = u[1][0], m11 = u[1][1];
         const std::size_t s1 = offset[1];
-        std::size_t base = 0;
-        for (std::size_t blk = 0; blk < blocks; ++blk) {
-            const Cplx a0 = amps[base];
-            const Cplx a1 = amps[base + s1];
-            amps[base] = m00 * a0 + m01 * a1;
-            amps[base + s1] = m10 * a0 + m11 * a1;
-            bumpOdometer(base, rdigit, rest_dims, rest_str);
+        if (!pool) {
+            runK2(amps, m00, m01, m10, m11, s1, 0, blocks, rest_dims,
+                  rest_str);
+        } else {
+            shard([&](std::size_t lo, std::size_t hi) {
+                runK2(amps, m00, m01, m10, m11, s1, lo, hi, rest_dims,
+                      rest_str);
+            });
         }
         return;
     }
@@ -217,20 +411,12 @@ MixedRadixState::applyUnitary(const std::vector<int> &units,
             for (std::size_t c = 0; c < 4; ++c)
                 m[4 * r + c] = u[r][c];
         const std::size_t s1 = offset[1], s2 = offset[2], s3 = offset[3];
-        std::size_t base = 0;
-        for (std::size_t blk = 0; blk < blocks; ++blk) {
-            const Cplx a0 = amps[base];
-            const Cplx a1 = amps[base + s1];
-            const Cplx a2 = amps[base + s2];
-            const Cplx a3 = amps[base + s3];
-            amps[base] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
-            amps[base + s1] =
-                m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
-            amps[base + s2] =
-                m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
-            amps[base + s3] =
-                m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
-            bumpOdometer(base, rdigit, rest_dims, rest_str);
+        if (!pool) {
+            runK4(amps, m, s1, s2, s3, 0, blocks, rest_dims, rest_str);
+        } else {
+            shard([&](std::size_t lo, std::size_t hi) {
+                runK4(amps, m, s1, s2, s3, lo, hi, rest_dims, rest_str);
+            });
         }
         return;
     }
@@ -254,20 +440,14 @@ MixedRadixState::applyUnitary(const std::vector<int> &units,
         row_begin[row + 1] = nz_col.size();
     }
 
-    std::vector<Cplx> in(k);
-    std::size_t base = 0;
-    for (std::size_t blk = 0; blk < blocks; ++blk) {
-        for (std::size_t li = 0; li < k; ++li)
-            in[li] = amps[base + offset[li]];
-        for (std::size_t row = 0; row < k; ++row) {
-            Cplx acc = 0.0;
-            for (std::size_t p = row_begin[row]; p < row_begin[row + 1];
-                 ++p) {
-                acc += nz_val[p] * in[nz_col[p]];
-            }
-            amps[base + offset[row]] = acc;
-        }
-        bumpOdometer(base, rdigit, rest_dims, rest_str);
+    if (!pool) {
+        runGeneral(amps, k, offset, row_begin, nz_col, nz_val, 0, blocks,
+                   rest_dims, rest_str);
+    } else {
+        shard([&](std::size_t lo, std::size_t hi) {
+            runGeneral(amps, k, offset, row_begin, nz_col, nz_val, lo, hi,
+                       rest_dims, rest_str);
+        });
     }
 }
 

@@ -15,6 +15,8 @@
 
 namespace qompress {
 
+class ThreadPool;
+
 using Cplx = std::complex<double>;
 
 /**
@@ -35,11 +37,13 @@ class GateMatrix
     /** Dense construction from nested braces (rows must be square). */
     GateMatrix(std::initializer_list<std::initializer_list<Cplx>> rows);
 
+    /** The n x n identity. */
     static GateMatrix identity(std::size_t n);
 
     /** Matrix dimension (rows == cols). */
     std::size_t size() const { return n_; }
 
+    /** Row @p r as a contiguous span of size() entries. */
     Cplx *operator[](std::size_t r) { return data_.data() + r * n_; }
     const Cplx *operator[](std::size_t r) const
     {
@@ -49,6 +53,7 @@ class GateMatrix
     /** Exchange two rows (used to build permutation-like gates). */
     void swapRows(std::size_t r1, std::size_t r2);
 
+    /** The flat row-major backing store (size() * size() entries). */
     const std::vector<Cplx> &data() const { return data_; }
 
   private:
@@ -64,6 +69,10 @@ bool isUnitary(const GateMatrix &u, double tol = 1e-9);
  *
  * Unit 0 is the most significant digit of the basis index (matching
  * the |q0 q1 ...> reading order used throughout).
+ *
+ * Thread-safety: distinct states are independent; one state must not
+ * be mutated from two threads (applyUnitary parallelizes internally,
+ * see below). The shard knobs are process-wide setup-time switches.
  */
 class MixedRadixState
 {
@@ -75,11 +84,16 @@ class MixedRadixState
     static MixedRadixState product(
         const std::vector<std::vector<Cplx>> &unit_states);
 
+    /** Number of qudits. */
     int numUnits() const { return static_cast<int>(dims_.size()); }
+    /** Dimension (2 or 4) of @p unit. */
     int dim(int unit) const { return dims_[unit]; }
+    /** Total amplitude count (product of all unit dims). */
     std::size_t size() const { return amps_.size(); }
 
+    /** The full amplitude vector, basis-ordered. */
     const std::vector<Cplx> &amplitudes() const { return amps_; }
+    /** Amplitude of basis state @p idx. */
     Cplx amp(std::size_t idx) const { return amps_[idx]; }
 
     /** The basis digit of @p unit within global index @p idx. */
@@ -100,6 +114,14 @@ class MixedRadixState
      * the per-amplitude inner loop performs no division or modulo.
      * Single-qudit gates (k = 2 and k = 4) use unrolled kernels;
      * larger gates run a sparsity-aware gather/scatter.
+     *
+     * States of at least shardThreshold() amplitudes shard the
+     * complement-block loop across the shard pool (each block touches
+     * a disjoint amplitude set, and every block performs the same
+     * arithmetic in the same order as the serial kernel, so the result
+     * is bit-identical regardless of lane count); smaller states, a
+     * one-lane pool, and calls arriving on a pool worker all take the
+     * serial kernels. Not safe to call concurrently on one state.
      */
     void applyUnitary(const std::vector<int> &units, const GateMatrix &u);
 
@@ -115,6 +137,18 @@ class MixedRadixState
     /** Fidelity |<a|b>|^2 between two same-shape states. */
     static double overlap(const MixedRadixState &a,
                           const MixedRadixState &b);
+
+    /**
+     * Minimum state size (in amplitudes) at which applyUnitary shards
+     * across the pool; default 2^18. Process-wide, not synchronized:
+     * set it during single-threaded setup (tests, main).
+     */
+    static void setShardThreshold(std::size_t amps);
+    static std::size_t shardThreshold();
+
+    /** Pool used for sharding; nullptr (the default) means
+     *  ThreadPool::global(). Same setup-time caveat as the threshold. */
+    static void setShardPool(ThreadPool *pool);
 
   private:
     /** Shared operand validation; returns the target-space dim k. */

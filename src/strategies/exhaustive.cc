@@ -1,10 +1,12 @@
 #include "strategies/exhaustive.hh"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <set>
 
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "ir/passes.hh"
 
 namespace qompress {
@@ -33,6 +35,38 @@ ExhaustiveStrategy::choosePairsWithTrace(
         local.emplace(topo, lib, inner);
         ctx = &*local;
     }
+
+    // Candidate fan-out: cfg.threads lanes (0 = the process default).
+    // Lane 0 reuses the caller's context; other lanes lazily build
+    // their own (the cache is single-writer state), created at most
+    // once per choosePairs call and reused across all rounds. Calls
+    // already running on a pool worker stay serial.
+    const int want = cfg.threads > 0 ? cfg.threads
+                                     : ThreadPool::defaultThreadCount();
+    std::optional<ThreadPool> own_pool;
+    ThreadPool *pool = nullptr;
+    if (want > 1 && !ThreadPool::onWorkerThread()) {
+        // Reuse the process pool when the request matches its sizing
+        // (comparing against defaultThreadCount so a mismatching
+        // request never force-constructs the global pool's threads);
+        // otherwise spin up a private pool for this search.
+        if (want == ThreadPool::defaultThreadCount()) {
+            pool = &ThreadPool::global();
+        } else {
+            own_pool.emplace(want);
+            pool = &*own_pool;
+        }
+    }
+    std::vector<std::unique_ptr<CompileContext>> lane_ctx(
+        pool ? pool->numThreads() : 1);
+    auto ctx_of_lane = [&](int lane) -> CompileContext * {
+        if (lane == 0)
+            return ctx;
+        if (!lane_ctx[lane])
+            lane_ctx[lane] =
+                std::make_unique<CompileContext>(topo, lib, inner);
+        return lane_ctx[lane].get();
+    };
 
     const int n = native.numQubits();
     std::vector<Compression> pairs;
@@ -82,27 +116,70 @@ ExhaustiveStrategy::choosePairsWithTrace(
         const int last_group = ordered_ ? 3 : 0;
         for (int group = first_group; group <= last_group && !committed;
              ++group) {
-            double best_eps = value_of(best);
-            Compression best_pair{kInvalid, kInvalid};
-            CompileResult best_res;
+            // Enumerate this group's candidates in ascending (a, b)
+            // order, score every one independently (in parallel when a
+            // pool is available), then reduce serially in that same
+            // order with the strict ">" the serial search used. The
+            // winner is therefore bit-identical regardless of lane
+            // count: scores are pure functions of the candidate (the
+            // cache never changes results) and ties keep the earliest
+            // candidate either way.
+            std::vector<Compression> cands;
             for (QubitId a = 0; a < n; ++a) {
                 if (paired[a])
                     continue;
                 for (QubitId b = a + 1; b < n; ++b) {
-                    if (paired[b] || group_of(a, b) != group)
-                        continue;
-                    auto cand = pairs;
-                    cand.push_back({a, b});
-                    CompileResult res = compileWithPairs(
-                        native, topo, lib, cand, false, inner, ctx);
+                    if (!paired[b] && group_of(a, b) == group)
+                        cands.push_back({a, b});
+                }
+            }
+
+            auto compile_cand = [&](std::size_t i, int lane) {
+                auto cand = pairs;
+                cand.push_back(cands[i]);
+                return compileWithPairs(native, topo, lib, cand, false,
+                                        inner, ctx_of_lane(lane));
+            };
+
+            double best_eps = value_of(best);
+            std::size_t best_idx = cands.size();
+            CompileResult best_res;
+            if (pool) {
+                std::vector<double> score(cands.size());
+                pool->parallelFor(0, cands.size(),
+                                  [&](std::size_t i, int lane) {
+                                      score[i] =
+                                          value_of(compile_cand(i, lane));
+                                  });
+                for (std::size_t i = 0; i < cands.size(); ++i) {
+                    if (score[i] > best_eps) {
+                        best_eps = score[i];
+                        best_idx = i;
+                    }
+                }
+                // Recompile the winner on the caller's context: one
+                // extra compile per committed pair, deterministic
+                // (identical to the lane's result by cache purity),
+                // and it keeps `best` warm on the lane-0 cache for
+                // the next round's critical-path analysis.
+                if (best_idx < cands.size())
+                    best_res = compile_cand(best_idx, 0);
+            } else {
+                // Serial: same candidate order and the same strict
+                // ">", keeping the winning result as it appears — no
+                // recompile needed.
+                for (std::size_t i = 0; i < cands.size(); ++i) {
+                    CompileResult res = compile_cand(i, 0);
                     if (value_of(res) > best_eps) {
                         best_eps = value_of(res);
-                        best_pair = {a, b};
+                        best_idx = i;
                         best_res = std::move(res);
                     }
                 }
             }
-            if (best_pair.first != kInvalid) {
+
+            if (best_idx < cands.size()) {
+                const Compression best_pair = cands[best_idx];
                 pairs.push_back(best_pair);
                 paired[best_pair.first] = true;
                 paired[best_pair.second] = true;

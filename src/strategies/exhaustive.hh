@@ -55,11 +55,14 @@ class ExhaustiveStrategy : public CompressionStrategy
                 const GateLibrary &lib, const CompilerConfig &cfg,
                 CompileContext &ctx) const override;
 
-    /** choosePairs plus the per-step metric trace. One CompileContext
-     *  (@p ctx if given, else a local one) is shared across every
-     *  candidate compile, so distance fields computed for one
-     *  candidate layout revalidate for the next instead of being
-     *  recomputed n^2 times. */
+    /** choosePairs plus the per-step metric trace. Candidate compiles
+     *  fan out over cfg.threads lanes (see CompilerConfig::threads),
+     *  one CompileContext per lane, so distance fields computed for
+     *  one candidate layout revalidate for the next instead of being
+     *  recomputed n^2 times; the serial reduction over candidate
+     *  scores makes the chosen pairing bit-identical for every lane
+     *  count. @p ctx, when given, serves lane 0 and the committed
+     *  recompiles. */
     std::vector<Compression>
     choosePairsWithTrace(const Circuit &native, const Topology &topo,
                          const GateLibrary &lib, const CompilerConfig &cfg,

@@ -21,6 +21,12 @@ namespace qompress {
  * Most strategies pick pairs up front (choosePairs) and defer to the
  * common pipeline; FQ overrides compile() outright because it routes
  * at the qudit level with encode/decode around external operations.
+ *
+ * Thread-safety: the standard strategies are stateless, so one
+ * instance may serve concurrent compiles as long as each call uses
+ * its own CompileContext (the portfolio strategy, which records its
+ * last winner, is the exception). The exhaustive strategy
+ * additionally parallelizes internally; see CompilerConfig::threads.
  */
 class CompressionStrategy
 {
@@ -33,11 +39,16 @@ class CompressionStrategy
     /**
      * Select compression pairs for a *native* circuit.
      *
+     * Deterministic: the same inputs always yield the same pairs,
+     * whatever the caching or threading configuration.
+     *
      * @param ctx the compile-wide pricing context; strategies that
      *        price candidates against the device (pp, ec) draw
      *        distance fields from ctx.cache() instead of re-running
      *        Dijkstra ad hoc, and fields they warm survive into the
-     *        subsequent mapping/routing of the same compile.
+     *        subsequent mapping/routing of the same compile. The
+     *        context is single-writer: it must not be shared with a
+     *        concurrently running compile.
      */
     virtual std::vector<Compression>
     choosePairs(const Circuit &native, const Topology &topo,
@@ -53,7 +64,9 @@ class CompressionStrategy
     virtual bool allowDynamicSlot1() const { return false; }
 
     /** Full compilation; the default decomposes, picks pairs, and runs
-     *  the shared pipeline -- all against one CompileContext. */
+     *  the shared pipeline -- all against one CompileContext. Safe to
+     *  call concurrently on one strategy instance (each call builds
+     *  its own context). */
     virtual CompileResult compile(const Circuit &circuit,
                                   const Topology &topo,
                                   const GateLibrary &lib,

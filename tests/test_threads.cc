@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Determinism suite for the thread-pool layer (ctest label "threads"):
+ *
+ *  - ThreadPool contract: full index coverage, stable lane ids,
+ *    first-exception propagation, reuse after failure, nested-call
+ *    inlining.
+ *  - Exhaustive strategy: 1, 2, and 8 lanes produce bit-identical
+ *    compiled circuits to the serial search on ring, grid, and
+ *    heavy-hex topologies over seeded circuits.
+ *  - Sharded Statevector::applyUnitary: amplitudes match the serial
+ *    kernels exactly (==, not a tolerance) both above and below the
+ *    sharding threshold, and match the naive reference to 1e-12.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "bench_util.hh"
+#include "circuits/bv.hh"
+#include "circuits/graphs.hh"
+#include "circuits/qaoa.hh"
+#include "common/thread_pool.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+// ------------------------------------------------------------- pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    ASSERT_EQ(pool.numThreads(), 4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<bool> lane_ok{true};
+    pool.parallelFor(0, kN, [&](std::size_t i, int lane) {
+        if (lane < 0 || lane >= 4)
+            lane_ok = false;
+        hits[i].fetch_add(1);
+    });
+    EXPECT_TRUE(lane_ok);
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SubmitDeliversResultsAndExceptions)
+{
+    ThreadPool pool(3);
+    auto ok = pool.submit([] { return 42; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstExceptionAndSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100,
+                         [](std::size_t i, int) {
+                             if (i == 37)
+                                 throw std::runtime_error("index 37");
+                         }),
+        std::runtime_error);
+
+    // The pool must stay fully usable after a failed sweep.
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 10, [&](std::size_t i, int) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(0, 8, [&](std::size_t, int) {
+        // From a lane, a nested sweep must run inline (lane 0) rather
+        // than deadlocking on the same pool.
+        pool.parallelFor(0, 4, [&](std::size_t, int lane) {
+            EXPECT_EQ(lane, 0);
+            total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, SingleLanePoolRunsEverythingInline)
+{
+    ThreadPool pool(1);
+    int count = 0; // deliberately unsynchronized: must stay caller-only
+    pool.parallelFor(0, 100, [&](std::size_t, int lane) {
+        EXPECT_EQ(lane, 0);
+        ++count;
+    });
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+// ---------------------------------------------- exhaustive determinism
+
+void
+expectIdenticalCompiles(const CompileResult &a, const CompileResult &b,
+                        const std::string &ctx)
+{
+    ASSERT_EQ(a.compressions.size(), b.compressions.size()) << ctx;
+    for (std::size_t i = 0; i < a.compressions.size(); ++i)
+        EXPECT_TRUE(a.compressions[i] == b.compressions[i])
+            << ctx << " pair " << i;
+
+    ASSERT_EQ(a.compiled.numGates(), b.compiled.numGates()) << ctx;
+    for (int i = 0; i < a.compiled.numGates(); ++i) {
+        const PhysGate &x = a.compiled.gates()[i];
+        const PhysGate &y = b.compiled.gates()[i];
+        EXPECT_EQ(x.cls, y.cls) << ctx << " gate " << i;
+        EXPECT_EQ(x.slots, y.slots) << ctx << " gate " << i;
+        EXPECT_EQ(x.logical, y.logical) << ctx << " gate " << i;
+        EXPECT_EQ(x.param, y.param) << ctx << " gate " << i;
+        EXPECT_EQ(x.isRouting, y.isRouting) << ctx << " gate " << i;
+        EXPECT_EQ(x.sourceGate, y.sourceGate) << ctx << " gate " << i;
+        EXPECT_EQ(x.start, y.start) << ctx << " gate " << i;
+    }
+    for (QubitId q = 0; q < a.compiled.finalLayout().numQubits(); ++q)
+        EXPECT_EQ(a.compiled.finalLayout().slotOf(q),
+                  b.compiled.finalLayout().slotOf(q))
+            << ctx << " qubit " << q;
+
+    EXPECT_EQ(a.metrics.gateEps, b.metrics.gateEps) << ctx;
+    EXPECT_EQ(a.metrics.totalEps, b.metrics.totalEps) << ctx;
+    EXPECT_EQ(a.metrics.durationNs, b.metrics.durationNs) << ctx;
+}
+
+/** Serial (threads=1) vs 2- and 8-lane exhaustive compiles. */
+void
+expectLaneCountInvariant(const Circuit &circuit, const Topology &topo)
+{
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+
+    cfg.threads = 1;
+    const CompileResult serial =
+        makeStrategy("ec")->compile(circuit, topo, lib, cfg);
+    for (int lanes : {2, 8}) {
+        cfg.threads = lanes;
+        const CompileResult pooled =
+            makeStrategy("ec")->compile(circuit, topo, lib, cfg);
+        expectIdenticalCompiles(serial, pooled,
+                                circuit.name() + " / " + topo.name() +
+                                    " / " + std::to_string(lanes) +
+                                    " lanes");
+    }
+}
+
+TEST(ExhaustiveDeterminism, RingSeeds)
+{
+    const Topology topo = Topology::ring(8);
+    expectLaneCountInvariant(bernsteinVazirani(6), topo);
+    expectLaneCountInvariant(qaoaFromGraph(randomGraph(6, 0.5, 3)), topo);
+}
+
+TEST(ExhaustiveDeterminism, GridSeeds)
+{
+    const Topology topo = Topology::grid(6);
+    expectLaneCountInvariant(bernsteinVazirani(6), topo);
+    expectLaneCountInvariant(qaoaFromGraph(randomGraph(6, 0.5, 13)), topo);
+}
+
+TEST(ExhaustiveDeterminism, HeavyHex65Seeds)
+{
+    const Topology topo = Topology::heavyHex65();
+    expectLaneCountInvariant(qaoaFromGraph(randomGraph(6, 0.4, 7)), topo);
+}
+
+TEST(ExhaustiveDeterminism, UnorderedVariantToo)
+{
+    const GateLibrary lib;
+    const Circuit bv = bernsteinVazirani(6);
+    const Topology topo = Topology::grid(6);
+    CompilerConfig cfg;
+    cfg.threads = 1;
+    const CompileResult serial =
+        makeStrategy("ec_unordered")->compile(bv, topo, lib, cfg);
+    cfg.threads = 4;
+    const CompileResult pooled =
+        makeStrategy("ec_unordered")->compile(bv, topo, lib, cfg);
+    expectIdenticalCompiles(serial, pooled, "ec_unordered / grid6");
+}
+
+// ------------------------------------------------- sharded statevector
+
+/** RAII restore of the process-wide sharding knobs. */
+struct ShardKnobs
+{
+    std::size_t saved = MixedRadixState::shardThreshold();
+    ~ShardKnobs()
+    {
+        MixedRadixState::setShardThreshold(saved);
+        MixedRadixState::setShardPool(nullptr);
+    }
+};
+
+/** Apply a mixed 1-/2-/3-qudit workload to copies of one random state
+ *  with sharding forced on vs off; demand exact amplitude identity. */
+void
+expectShardedMatchesSerial(const std::vector<int> &dims, ThreadPool &pool)
+{
+    Rng rng(2024);
+    MixedRadixState init = bench::randomState(dims, rng);
+
+    auto gates = bench::mixedGateWorkload(dims, rng);
+    // A three-qudit gate exercises the general gather/scatter kernel.
+    const std::size_t k3 =
+        static_cast<std::size_t>(dims[0]) * dims[1] * dims[2];
+    gates.push_back({{0, 1, 2}, bench::randomUnitary(k3, rng)});
+
+    ShardKnobs restore;
+    MixedRadixState::setShardPool(&pool);
+
+    MixedRadixState sharded = init;
+    MixedRadixState::setShardThreshold(1); // every call shards
+    for (const auto &g : gates)
+        sharded.applyUnitary(g.units, g.u);
+
+    MixedRadixState serial = init;
+    MixedRadixState::setShardThreshold(~std::size_t(0)); // never shards
+    for (const auto &g : gates)
+        serial.applyUnitary(g.units, g.u);
+
+    MixedRadixState naive = init;
+    for (const auto &g : gates)
+        naive.applyUnitaryNaive(g.units, g.u);
+
+    ASSERT_EQ(sharded.size(), serial.size());
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+        EXPECT_EQ(sharded.amp(i).real(), serial.amp(i).real()) << i;
+        EXPECT_EQ(sharded.amp(i).imag(), serial.amp(i).imag()) << i;
+    }
+    EXPECT_LE(bench::maxAmpDiff(sharded, naive), 1e-12);
+}
+
+TEST(ShardedStatevector, MatchesSerialAboveThreshold)
+{
+    ThreadPool pool(4);
+    // 4*2*4*2*4*2*2*2 = 2048 amplitudes: comfortably above the forced
+    // threshold of 1, sharded on every gate.
+    expectShardedMatchesSerial({4, 2, 4, 2, 4, 2, 2, 2}, pool);
+}
+
+TEST(ShardedStatevector, MatchesSerialOnSmallStates)
+{
+    ThreadPool pool(8);
+    // 4*2*2 = 16 amplitudes: block counts fall below lanes*4 for the
+    // larger gates, exercising the serial fallback inside the
+    // threshold-on path.
+    expectShardedMatchesSerial({4, 2, 2}, pool);
+}
+
+TEST(ShardedStatevector, DefaultThresholdKeepsTypicalStatesSerial)
+{
+    // The default threshold (2^18) must leave the 10-qudit workloads
+    // used across the test suite on the serial kernels.
+    EXPECT_EQ(MixedRadixState::shardThreshold(), std::size_t(1) << 18);
+    std::size_t amps = 1;
+    for (int d : {4, 2, 4, 2, 4, 2, 4, 2, 4, 2})
+        amps *= static_cast<std::size_t>(d);
+    EXPECT_LT(amps, MixedRadixState::shardThreshold());
+}
+
+} // namespace
+} // namespace qompress
