@@ -1,22 +1,30 @@
 /**
  * @file
- * Hot-path benchmark: times the five compute-heavy loops of the
- * toolchain -- mixed-radix statevector gate application, one GRAPE
- * gradient iteration, SWAP routing over the expanded graph, full
- * mapping+routing of the deep QAOA/heavy-hex workload, and the
- * exhaustive strategy's candidate-pair sweep on heavyHex65 (serial vs
- * thread-pool fan-out at 2/4/8 lanes) -- against the retained
- * naive/uncached/serial reference paths in the same binary, and
- * emits machine-readable JSON (the BENCH_*.json trajectory; compare
+ * Hot-path benchmark: times the compute-heavy loops of the toolchain
+ * -- mixed-radix statevector gate application, one GRAPE gradient
+ * iteration (plus the per-segment fan-out at 2/4/8 lanes), the
+ * Padé-13 vs Taylor family exponential, SWAP routing over the
+ * expanded graph, full mapping+routing of the deep QAOA/heavy-hex
+ * workload, the exhaustive strategy's candidate-pair sweep on
+ * heavyHex65 (serial vs thread-pool fan-out at 2/4/8 lanes), and the
+ * evaluation-sweep cell fan-out at 1/2/4/8 lanes -- against the
+ * retained naive/uncached/serial reference paths in the same binary,
+ * and emits machine-readable JSON with a "host" metadata object
+ * (nproc, QOMPRESS_THREADS, build type) so snapshots from different
+ * machines stay interpretable (the BENCH_*.json trajectory; compare
  * runs with tools/bench_diff.py --regress-threshold).
  *
  * Flags:
  *   --check      differential mode: assert optimized kernels agree
- *                with references (1e-10), that a warm GRAPE gradient
- *                step performs zero heap allocations, that cached
- *                (partial-invalidation) and uncached mapping+routing
- *                emit identical circuits, and that the exhaustive
- *                search picks bit-identical pairings at every lane
+ *                with references (1e-10), that a warm serial GRAPE
+ *                gradient step performs zero heap allocations (and a
+ *                warm pooled one performs zero *per lane*), that the
+ *                Padé-13 family exponential matches the Taylor
+ *                reference to 1e-12 and beats it by >= 1.15x, that
+ *                cached (partial-invalidation) and uncached
+ *                mapping+routing emit identical circuits, and that
+ *                the exhaustive search, the eval sweep, and the GRAPE
+ *                gradient produce bit-identical results at every lane
  *                count; exits nonzero on violation. Registered under
  *                ctest label "bench".
  *   --quick      smaller repetition counts.
@@ -32,6 +40,7 @@
 #include <iostream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hh"
@@ -39,7 +48,9 @@
 #include "circuits/graphs.hh"
 #include "circuits/qaoa.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
+#include "eval/sweep.hh"
 #include "ir/passes.hh"
 #include "pulse/grape.hh"
 #include "pulse/hamiltonian.hh"
@@ -153,6 +164,7 @@ benchGrape(int reps)
     const CMatrix target = namedTarget("CX2", dims);
     const TransmonSystem system(dims, /*guard_levels=*/1);
     GrapeOptions opts;
+    opts.threads = 1; // the serial baseline; lanes timed separately
     GrapeOptimizer grape(system, target, /*duration_ns=*/160.0,
                          /*segments=*/40, opts);
 
@@ -404,6 +416,232 @@ benchExhaustive(int qubits)
     return res;
 }
 
+struct SweepBenchResult
+{
+    double serial_ms;
+    double t2_ms;
+    double t4_ms;
+    double t8_ms;
+    bool identical; // records bit-identical at every lane count
+    std::uint64_t cells;
+};
+
+bool
+sameRecords(const std::vector<SweepRecord> &a,
+            const std::vector<SweepRecord> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const SweepRecord &x = a[i];
+        const SweepRecord &y = b[i];
+        if (x.family != y.family || x.strategy != y.strategy ||
+            x.requestedSize != y.requestedSize ||
+            x.qubits != y.qubits ||
+            x.numCompressions != y.numCompressions ||
+            x.metrics.gateEps != y.metrics.gateEps ||
+            x.metrics.coherenceEps != y.metrics.coherenceEps ||
+            x.metrics.totalEps != y.metrics.totalEps ||
+            x.metrics.durationNs != y.metrics.durationNs ||
+            x.metrics.numGates != y.metrics.numGates)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The evaluation-layer workload: a (family x size x strategy) grid —
+ * the shape of every figure bench — compiled through runSweep at
+ * 1/2/4/8 lanes. Cells land in pre-sized slots, so the records must
+ * be bit-identical whatever the lane count.
+ */
+SweepBenchResult
+benchSweep(int sizes_hi)
+{
+    SweepSpec spec;
+    spec.families = {"bv", "qaoa_random"};
+    spec.sizes = {8, sizes_hi};
+    spec.strategies = {"qubit_only", "eqm", "rb", "awe", "pp"};
+    spec.config.lookaheadWeight = 0.5;
+
+    auto run = [&](int lanes, double &ms) {
+        spec.threads = lanes;
+        const auto t0 = Clock::now();
+        auto records = runSweep(spec);
+        ms = 1e3 * secondsSince(t0);
+        return records;
+    };
+
+    SweepBenchResult res{};
+    // Discarded warm-up: pays allocator growth, cold code paths, and
+    // (when 8 happens to be the process default) the global pool's
+    // spawn. Lane counts that differ from the process default still
+    // construct and join their private pool inside each timed run —
+    // lanes-1 thread spawns, which is real overhead the lane timings
+    // deliberately include (it is what a caller of that lane count
+    // pays per sweep).
+    double warmup_ms = 0.0;
+    run(8, warmup_ms);
+    const auto r1 = run(1, res.serial_ms);
+    const auto r2 = run(2, res.t2_ms);
+    const auto r4 = run(4, res.t4_ms);
+    const auto r8 = run(8, res.t8_ms);
+    res.identical = sameRecords(r1, r2) && sameRecords(r1, r4) &&
+                    sameRecords(r1, r8);
+    res.cells = static_cast<std::uint64_t>(r1.size());
+    return res;
+}
+
+struct GrapeLanesBenchResult
+{
+    double serial_ms;
+    double t2_ms;
+    double t4_ms;
+    double t8_ms;
+    bool identical; // objective+gradient bit-identical across lanes
+    std::uint64_t warm_lane_allocs; // max per-lane allocs, warm call
+};
+
+/**
+ * The per-segment GRAPE fan-out: the same CX2/40-segment gradient
+ * iteration as the serial section, at 1/2/4/8 lanes. The per-lane
+ * allocation probe (this binary's thread-local operator-new counter)
+ * asserts the zero-alloc warm-iteration property holds for every
+ * lane, not just the calling thread.
+ */
+GrapeLanesBenchResult
+benchGrapeLanes(int reps)
+{
+    std::vector<int> dims;
+    const CMatrix target = namedTarget("CX2", dims);
+    const TransmonSystem system(dims, /*guard_levels=*/1);
+
+    Rng rng(99);
+    std::vector<std::vector<double>> controls;
+    {
+        GrapeOptions probe_opts;
+        probe_opts.threads = 1;
+        GrapeOptimizer probe(system, target, 160.0, 40, probe_opts);
+        controls.assign(probe.numControls(),
+                        std::vector<double>(probe.segments(), 0.0));
+        const double amp = 0.25 * system.maxAmplitude();
+        for (auto &row : controls)
+            for (auto &v : row)
+                v = rng.nextDouble(-amp, amp);
+    }
+
+    GrapeLanesBenchResult res{};
+    std::vector<std::vector<double>> grad_serial;
+    for (int lanes : {1, 2, 4, 8}) {
+        GrapeOptions opts;
+        opts.threads = lanes;
+        GrapeOptimizer grape(system, target, 160.0, 40, opts);
+        GrapeWorkspace ws;
+        ws.allocProbe = [] { return t_alloc_count; };
+        std::vector<std::vector<double>> grad;
+        double fid = 0.0, leak = 0.0;
+        // Two warm-ups: the first sizes shared buffers, the second
+        // lets every lane touch (and size) its own scratch.
+        grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+        grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+        const auto t0 = Clock::now();
+        for (int r = 0; r < reps; ++r)
+            grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+        const double ms = 1e3 * secondsSince(t0) / reps;
+        for (const auto allocs : ws.laneAllocs)
+            res.warm_lane_allocs = std::max(res.warm_lane_allocs,
+                                            allocs);
+        switch (lanes) {
+        case 1:
+            res.serial_ms = ms;
+            grad_serial = grad;
+            res.identical = true;
+            break;
+        case 2:
+            res.t2_ms = ms;
+            break;
+        case 4:
+            res.t4_ms = ms;
+            break;
+        default:
+            res.t8_ms = ms;
+            break;
+        }
+        res.identical = res.identical && grad == grad_serial;
+    }
+    return res;
+}
+
+struct PadeBenchResult
+{
+    double pade_ms;   // expmFamilyInto (Padé-13) over all segments
+    double taylor_ms; // expmFamilyIntoTaylor, same inputs
+    double max_diff;  // worst elementwise deviation, eA and every dU
+};
+
+/**
+ * The pulse-kernel microbench: one GRAPE sweep's worth of segment
+ * generators (CX2, 40 segments, 4 drive directions), exponentiated by
+ * the Padé-13 production kernel vs the retained Taylor
+ * scaling-and-squaring reference.
+ */
+PadeBenchResult
+benchPade(int reps)
+{
+    std::vector<int> dims;
+    const CMatrix target = namedTarget("CX2", dims);
+    const TransmonSystem system(dims, /*guard_levels=*/1);
+    const int segments = 40;
+    const double dt = 160.0 / segments;
+    const auto &hc = system.controls();
+
+    std::vector<CMatrix> bgen(hc.size());
+    for (std::size_t k = 0; k < hc.size(); ++k)
+        scaleInto(bgen[k], CMatrix::Scalar(0.0, -dt), hc[k]);
+    Rng rng(99);
+    const double amp = 0.25 * system.maxAmplitude();
+    std::vector<CMatrix> agens;
+    agens.reserve(segments);
+    for (int j = 0; j < segments; ++j) {
+        CMatrix h = system.drift();
+        for (const auto &c : hc)
+            h += c * CMatrix::Scalar(rng.nextDouble(-amp, amp));
+        agens.push_back(h * CMatrix::Scalar(0.0, -dt));
+    }
+
+    ExpmFamilyWorkspace ws;
+    CMatrix eA, eA_ref;
+    std::vector<CMatrix> ds, ds_ref;
+    PadeBenchResult res{};
+    for (const auto &a : agens) { // warm both paths and diff them
+        expmFamilyInto(eA, ds, a, bgen, ws);
+        expmFamilyIntoTaylor(eA_ref, ds_ref, a, bgen, ws);
+        for (int r = 0; r < eA.rows(); ++r)
+            for (int c = 0; c < eA.cols(); ++c)
+                res.max_diff = std::max(
+                    res.max_diff, std::abs(eA(r, c) - eA_ref(r, c)));
+        for (std::size_t k = 0; k < ds.size(); ++k)
+            for (int r = 0; r < eA.rows(); ++r)
+                for (int c = 0; c < eA.cols(); ++c)
+                    res.max_diff = std::max(
+                        res.max_diff,
+                        std::abs(ds[k](r, c) - ds_ref[k](r, c)));
+    }
+
+    const auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        for (const auto &a : agens)
+            expmFamilyInto(eA, ds, a, bgen, ws);
+    res.pade_ms = 1e3 * secondsSince(t0) / reps;
+
+    const auto t1 = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        for (const auto &a : agens)
+            expmFamilyIntoTaylor(eA_ref, ds_ref, a, bgen, ws);
+    res.taylor_ms = 1e3 * secondsSince(t1) / reps;
+    return res;
+}
+
 } // namespace
 
 int
@@ -424,12 +662,20 @@ main(int argc, char **argv)
     const int qaoa_reps = check ? 1 : (args.quick ? 2 : 5);
     const int qaoa_rounds = check ? 1 : 3;
     const int exh_qubits = check ? 6 : (args.quick ? 8 : 12);
+    const int sweep_hi = check ? 10 : (args.quick ? 10 : 14);
+    const int grape_lane_reps = check ? 3 : (args.quick ? 5 : 20);
+    // The Padé/Taylor ratio gates --check, so keep its rep count high
+    // enough to be stable even there (~tens of ms per path).
+    const int pade_reps = args.quick ? 20 : 40;
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
     const RouteBenchResult rt = benchRouting(route_reps);
     const QaoaHhBenchResult qh = benchQaoaHeavyHex(qaoa_reps, qaoa_rounds);
     const ExhaustiveBenchResult ex = benchExhaustive(exh_qubits);
+    const SweepBenchResult sw = benchSweep(sweep_hi);
+    const GrapeLanesBenchResult gl = benchGrapeLanes(grape_lane_reps);
+    const PadeBenchResult pd = benchPade(pade_reps);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -441,12 +687,28 @@ main(int argc, char **argv)
         qh.cached_ms > 0.0 ? qh.uncached_ms / qh.cached_ms : 0.0;
     const double exh_speedup_t4 =
         ex.t4_ms > 0.0 ? ex.serial_ms / ex.t4_ms : 0.0;
+    const double sweep_speedup_t4 =
+        sw.t4_ms > 0.0 ? sw.serial_ms / sw.t4_ms : 0.0;
+    const double grape_seg_speedup_t4 =
+        gl.t4_ms > 0.0 ? gl.serial_ms / gl.t4_ms : 0.0;
+    const double pade_speedup =
+        pd.pade_ms > 0.0 ? pd.taylor_ms / pd.pade_ms : 0.0;
 
-    char buf[4096];
+    const char *qt_env = std::getenv("QOMPRESS_THREADS");
+#ifndef QOMPRESS_BUILD_TYPE
+#define QOMPRESS_BUILD_TYPE "unknown"
+#endif
+
+    char buf[8192];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
         "  \"bench\": \"hotpaths\",\n"
+        "  \"host\": {\n"
+        "    \"nproc\": %u,\n"
+        "    \"qompress_threads\": \"%s\",\n"
+        "    \"build_type\": \"%s\"\n"
+        "  },\n"
         "  \"metrics\": {\n"
         "    \"statevector_apply_ms\": %.4f,\n"
         "    \"statevector_naive_ms\": %.4f,\n"
@@ -476,9 +738,29 @@ main(int argc, char **argv)
         "    \"exhaustive_hh_t8_ms\": %.4f,\n"
         "    \"exhaustive_hh_speedup_t4\": %.3f,\n"
         "    \"exhaustive_hh_pairs\": %llu,\n"
-        "    \"exhaustive_hh_identical\": %s\n"
+        "    \"exhaustive_hh_identical\": %s,\n"
+        "    \"sweep_serial_ms\": %.4f,\n"
+        "    \"sweep_t2_ms\": %.4f,\n"
+        "    \"sweep_t4_ms\": %.4f,\n"
+        "    \"sweep_t8_ms\": %.4f,\n"
+        "    \"sweep_speedup_t4\": %.3f,\n"
+        "    \"sweep_cells\": %llu,\n"
+        "    \"sweep_identical\": %s,\n"
+        "    \"grape_seg_serial_ms\": %.4f,\n"
+        "    \"grape_seg_t2_ms\": %.4f,\n"
+        "    \"grape_seg_t4_ms\": %.4f,\n"
+        "    \"grape_seg_t8_ms\": %.4f,\n"
+        "    \"grape_seg_speedup_t4\": %.3f,\n"
+        "    \"grape_seg_warm_lane_allocs\": %llu,\n"
+        "    \"grape_seg_identical\": %s,\n"
+        "    \"expm_pade_ms\": %.4f,\n"
+        "    \"expm_taylor_ms\": %.4f,\n"
+        "    \"expm_pade_speedup\": %.3f,\n"
+        "    \"expm_pade_max_diff\": %.3e\n"
         "  }\n"
         "}\n",
+        std::thread::hardware_concurrency(),
+        qt_env ? qt_env : "unset", QOMPRESS_BUILD_TYPE,
         sim.optimized_ms, sim.naive_ms, sim_speedup, sim.max_diff,
         gr.optimized_ms, gr.naive_ms, grape_speedup, gr.max_grad_diff,
         static_cast<unsigned long long>(gr.warm_allocs), rt.cached_ms,
@@ -492,7 +774,14 @@ main(int argc, char **argv)
         qh.identical ? "true" : "false", ex.serial_ms, ex.t2_ms,
         ex.t4_ms, ex.t8_ms, exh_speedup_t4,
         static_cast<unsigned long long>(ex.pairs),
-        ex.identical ? "true" : "false");
+        ex.identical ? "true" : "false", sw.serial_ms, sw.t2_ms,
+        sw.t4_ms, sw.t8_ms, sweep_speedup_t4,
+        static_cast<unsigned long long>(sw.cells),
+        sw.identical ? "true" : "false", gl.serial_ms, gl.t2_ms,
+        gl.t4_ms, gl.t8_ms, grape_seg_speedup_t4,
+        static_cast<unsigned long long>(gl.warm_lane_allocs),
+        gl.identical ? "true" : "false", pd.pade_ms, pd.taylor_ms,
+        pade_speedup, pd.max_diff);
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -525,6 +814,21 @@ main(int argc, char **argv)
         expect(ex.identical,
                "exhaustive search chooses bit-identical pairings at "
                "1/2/4/8 lanes");
+        expect(sw.identical,
+               "eval sweep emits bit-identical records at 1/2/4/8 "
+               "lanes");
+        expect(gl.identical,
+               "GRAPE objective+gradient is bit-identical at 1/2/4/8 "
+               "lanes");
+        expect(gl.warm_lane_allocs == 0,
+               "warm pooled GRAPE gradient step performs zero heap "
+               "allocations on every lane");
+        expect(pd.max_diff <= 1e-12,
+               "Pade-13 family exponential matches the Taylor "
+               "reference to 1e-12");
+        expect(pade_speedup >= 1.15,
+               "Pade-13 family exponential beats the Taylor reference "
+               "by >= 1.15x");
         return failures == 0 ? 0 : 1;
     }
     return 0;

@@ -183,4 +183,21 @@ ThreadPool::onWorkerThread()
     return t_on_worker;
 }
 
+ThreadPool *
+ThreadPool::forRequest(int threads, std::optional<ThreadPool> &own)
+{
+    const int want = threads > 0 ? threads : defaultThreadCount();
+    if (want <= 1 || onWorkerThread()) {
+        own.reset(); // don't keep a stale private pool's threads alive
+        return nullptr;
+    }
+    if (want == defaultThreadCount()) {
+        own.reset();
+        return &global();
+    }
+    if (!own || own->numThreads() != want)
+        own.emplace(want);
+    return &*own;
+}
+
 } // namespace qompress

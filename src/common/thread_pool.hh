@@ -25,6 +25,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -107,6 +108,26 @@ class ThreadPool
     /** True when the current thread is a worker of *any* ThreadPool
      *  (used to keep nested parallelFor calls inline). */
     static bool onWorkerThread();
+
+    /**
+     * Resolve a lane-count request (the CompilerConfig::threads /
+     * GrapeOptions::threads convention: 0 = process default, 1 =
+     * serial, N = exactly N lanes) to a pool, or nullptr when the
+     * caller should run serially.
+     *
+     * Returns nullptr when the request resolves to one lane or the
+     * calling thread is already a pool worker (nested fan-out
+     * degrades to inline execution); the global pool when the request
+     * matches defaultThreadCount() (never force-sizes the global pool
+     * to a mismatching request); otherwise a private pool constructed
+     * into @p own. A still-live pool already in @p own is reused when
+     * its lane count matches, so callers holding the optional across
+     * hot iterations (e.g. GrapeWorkspace) spawn threads once; on any
+     * other outcome @p own is reset so a stale private pool's idle
+     * threads are not kept alive.
+     */
+    static ThreadPool *forRequest(int threads,
+                                  std::optional<ThreadPool> &own);
 
   private:
     void enqueue(std::function<void()> task);

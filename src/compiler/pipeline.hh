@@ -39,11 +39,13 @@ struct CompilerConfig
     bool validate = true;
 
     /**
-     * Lanes for candidate fan-out (the exhaustive strategy's parallel
-     * pair sweep): 0 = ThreadPool::defaultThreadCount() (the
-     * QOMPRESS_THREADS env override, else hardware_concurrency);
-     * 1 = force serial; N > 1 = exactly N lanes. The chosen pairing is
-     * bit-identical across all settings; only wall-clock changes.
+     * Lanes for compile-level fan-out — the exhaustive strategy's
+     * parallel pair sweep and the portfolio strategy's parallel
+     * member compiles (eval sweeps inherit it via SweepSpec::threads):
+     * 0 = ThreadPool::defaultThreadCount() (the QOMPRESS_THREADS env
+     * override, else hardware_concurrency); 1 = force serial;
+     * N > 1 = exactly N lanes. Results (pairings, winners, records)
+     * are bit-identical across all settings; only wall-clock changes.
      */
     int threads = 0;
 };

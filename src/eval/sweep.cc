@@ -1,12 +1,34 @@
 #include "eval/sweep.hh"
 
+#include <optional>
 #include <set>
 
 #include "circuits/registry.hh"
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
+
+namespace {
+
+/** One materialized (family, size) circuit instance of a sweep. */
+struct SweepInstance
+{
+    const std::string *family;
+    int requestedSize;
+    Circuit circuit;
+    Topology device;
+};
+
+/** One (instance, strategy) cell, indexing its output record slot. */
+struct SweepCell
+{
+    const SweepInstance *inst;
+    const std::string *strategy;
+};
+
+} // namespace
 
 std::vector<SweepRecord>
 runSweep(const SweepSpec &spec)
@@ -18,37 +40,86 @@ runSweep(const SweepSpec &spec)
         ? spec.device
         : [](const Circuit &c) { return Topology::grid(c.numQubits()); };
 
-    std::vector<SweepRecord> records;
+    // Phase 1 (serial): materialize every circuit instance in the
+    // original family-major, size-ascending order, applying the
+    // min-size and snapped-size-dedup rules. Circuit generation is
+    // cheap next to the compiles; doing it up front yields a flat,
+    // stable cell list the pool can fan out over.
+    std::vector<SweepInstance> instances;
     for (const auto &family_name : spec.families) {
         const auto &family = benchmarkFamily(family_name);
         std::set<int> seen_sizes; // families snap sizes downward
         for (int size : spec.sizes) {
             if (size < family.minQubits)
                 continue;
-            const Circuit circuit = family.make(size);
+            Circuit circuit = family.make(size);
             if (!seen_sizes.insert(circuit.numQubits()).second)
                 continue;
-            const Topology device = make_device(circuit);
-            for (const auto &strategy_name : spec.strategies) {
-                SweepRecord rec;
-                rec.family = family_name;
-                rec.strategy = strategy_name;
-                rec.requestedSize = size;
-                try {
-                    const auto res =
-                        makeStrategy(strategy_name)
-                            ->compile(circuit, device, spec.library,
-                                      spec.config);
-                    rec.qubits = circuit.numQubits();
-                    rec.metrics = res.metrics;
-                    rec.numCompressions =
-                        static_cast<int>(res.compressions.size());
-                } catch (const FatalError &) {
-                    rec.qubits = 0; // did not fit
-                }
-                records.push_back(std::move(rec));
-            }
+            Topology device = make_device(circuit);
+            instances.push_back({&family_name, size, std::move(circuit),
+                                 std::move(device)});
         }
+    }
+
+    // Phase 2: flatten to (instance x strategy) cells — the same
+    // iteration order the serial loop used — and compile each cell
+    // into its pre-sized record slot, so the output ordering is
+    // identical at every lane count.
+    std::vector<SweepCell> cells;
+    cells.reserve(instances.size() * spec.strategies.size());
+    for (const auto &inst : instances)
+        for (const auto &strategy_name : spec.strategies)
+            cells.push_back({&inst, &strategy_name});
+
+    std::vector<SweepRecord> records(cells.size());
+
+    // Per-lane state: one CompileContext per lane, rebuilt only when
+    // the lane moves to a cell with a different device (the expanded
+    // graph and cost model are per-topology). The cache invariant —
+    // caching never changes what a compile emits — keeps records
+    // independent of how cells partition across lanes.
+    struct LaneState
+    {
+        const Topology *device = nullptr;
+        std::optional<CompileContext> ctx;
+    };
+    const int want =
+        spec.threads >= 0 ? spec.threads : spec.config.threads;
+    std::optional<ThreadPool> own_pool;
+    ThreadPool *pool = ThreadPool::forRequest(want, own_pool);
+    std::vector<LaneState> lanes(pool ? pool->numThreads() : 1);
+
+    auto compile_cell = [&](std::size_t i, int lane) {
+        const SweepCell &cell = cells[i];
+        LaneState &ls = lanes[static_cast<std::size_t>(lane)];
+        if (ls.device != &cell.inst->device) {
+            ls.ctx.emplace(cell.inst->device, spec.library, spec.config);
+            ls.device = &cell.inst->device;
+        }
+        SweepRecord rec;
+        rec.family = *cell.inst->family;
+        rec.strategy = *cell.strategy;
+        rec.requestedSize = cell.inst->requestedSize;
+        try {
+            const auto res =
+                makeStrategy(*cell.strategy)
+                    ->compile(cell.inst->circuit, cell.inst->device,
+                              spec.library, spec.config, &*ls.ctx);
+            rec.qubits = cell.inst->circuit.numQubits();
+            rec.metrics = res.metrics;
+            rec.numCompressions =
+                static_cast<int>(res.compressions.size());
+        } catch (const FatalError &) {
+            rec.qubits = 0; // did not fit
+        }
+        records[i] = std::move(rec);
+    };
+
+    if (pool) {
+        pool->parallelFor(0, cells.size(), compile_cell);
+    } else {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            compile_cell(i, 0);
     }
     return records;
 }

@@ -39,12 +39,27 @@ struct SweepSpec
     CompilerConfig config;               ///< pipeline knobs
     /** Device factory per circuit (defaults to a fitted grid). */
     std::function<Topology(const Circuit &)> device;
+    /**
+     * Lanes for the cell fan-out (one compile per family x size x
+     * strategy cell): < 0 (the default) inherits config.threads;
+     * otherwise the CompilerConfig::threads convention (0 = process
+     * default, 1 = serial, N = exactly N lanes). Records are
+     * bit-identical at every lane count.
+     */
+    int threads = -1;
 };
 
 /**
  * Run the sweep; instances whose snapped qubit count repeats within a
  * family are deduplicated, and strategies that cannot fit a circuit
  * are skipped (recorded with qubits = 0).
+ *
+ * Cells fan out across spec.threads pool lanes, one CompileContext
+ * per lane, each record written into its pre-sized slot — output
+ * ordering and contents are identical at every lane count. Compiles
+ * running inside the sweep are on pool workers, so a strategy's own
+ * fan-out (ec, portfolio) degrades to inline execution rather than
+ * oversubscribing the pool.
  */
 std::vector<SweepRecord> runSweep(const SweepSpec &spec);
 

@@ -162,16 +162,66 @@ GrapeOptimizer::objectiveAndGradient(
         ws.du.resize(segments_);
     }
 
-    // One shared-series exponential per segment yields the propagator
-    // and every control's directional derivative together.
-    for (int j = 0; j < segments_; ++j) {
-        ws.hseg.copyFrom(system_->drift());
+    // Lane setup: segments are independent in both parallel phases
+    // below, so they fan out across opts_.threads lanes with one
+    // LaneScratch per lane (never shrunk, so a workspace reused at a
+    // smaller lane count stays warm). Serial runs use lane 0 directly.
+    ThreadPool *pool = ThreadPool::forRequest(opts_.threads, ws.ownPool);
+    const std::size_t nlanes =
+        pool ? static_cast<std::size_t>(pool->numThreads()) : 1;
+    if (ws.lanes.size() < nlanes)
+        ws.lanes.resize(nlanes);
+    const bool probing = ws.allocProbe != nullptr;
+    if (probing)
+        ws.laneAllocs.assign(ws.lanes.size(), 0);
+
+    // Deterministic lane warm-up: segments distribute dynamically, so
+    // a lane's first-ever segment may otherwise land mid-iteration
+    // many calls in (a single run through one dummy segment sizes all
+    // of a lane's scratch). Doing it here, on the calling thread,
+    // keeps the warm path allocation-free *per lane* from the first
+    // pooled iteration onwards. props[0]/du[0] are scratch targets
+    // only — phase 1 recomputes them with the real controls.
+    if (ws.warmLaneCount < nlanes || ws.warmDim != dim) {
+        for (std::size_t l = 0; l < nlanes; ++l) {
+            GrapeWorkspace::LaneScratch &ls = ws.lanes[l];
+            ls.hseg.copyFrom(system_->drift());
+            scaleInto(ls.agen, CMatrix::Scalar(0.0, -dt_), ls.hseg);
+            expmFamilyInto(ws.props[0], ws.du[0], ls.agen, ws.bgen,
+                           ls.famWs);
+            ls.pw.resize(dim, dim);
+            ls.py.resize(dim, dim);
+        }
+        ws.warmLaneCount = nlanes;
+        ws.warmDim = dim;
+    }
+
+    // Phase 1 (parallel over segments): one shared-series exponential
+    // per segment yields the propagator and every control's
+    // directional derivative together. Each segment writes only its
+    // own props[j]/du[j] slot; the per-segment math is identical to
+    // the serial loop, so results are bit-identical at any lane count.
+    auto segment_exponential = [&](std::size_t j, int lane) {
+        GrapeWorkspace::LaneScratch &ls =
+            ws.lanes[static_cast<std::size_t>(lane)];
+        const std::uint64_t before = probing ? ws.allocProbe() : 0;
+        ls.hseg.copyFrom(system_->drift());
         for (std::size_t k = 0; k < nk; ++k)
-            addScaledInto(ws.hseg, CMatrix::Scalar(controls[k][j]),
+            addScaledInto(ls.hseg, CMatrix::Scalar(controls[k][j]),
                           hc[k]);
-        scaleInto(ws.agen, CMatrix::Scalar(0.0, -dt_), ws.hseg);
-        expmFamilyInto(ws.props[j], ws.du[j], ws.agen, ws.bgen,
-                       ws.famWs);
+        scaleInto(ls.agen, CMatrix::Scalar(0.0, -dt_), ls.hseg);
+        expmFamilyInto(ws.props[j], ws.du[j], ls.agen, ws.bgen,
+                       ls.famWs);
+        if (probing)
+            ws.laneAllocs[static_cast<std::size_t>(lane)] +=
+                ws.allocProbe() - before;
+    };
+    if (pool) {
+        pool->parallelFor(0, static_cast<std::size_t>(segments_),
+                          segment_exponential);
+    } else {
+        for (int j = 0; j < segments_; ++j)
+            segment_exponential(static_cast<std::size_t>(j), 0);
     }
 
     // Forward cumulative products A_j = U_j ... U_0.
@@ -211,28 +261,46 @@ GrapeOptimizer::objectiveAndGradient(
         mulInto(ws.yback[j - 1], ws.yback[j], ws.props[j]);
     }
 
+    // Phase 2 (parallel over segments): every gradient column [*][j]
+    // depends only on the serially-computed fwd/wback/yback products
+    // (read-only here) and the segment's own du[j], so segments fan
+    // out with per-lane pw/py scratch; each invocation writes the
+    // disjoint grad[k][j] entries of its own segment.
     zeroGrad(grad, nk, segments_);
-    for (int j = 0; j < segments_; ++j) {
+    auto segment_gradient = [&](std::size_t j, int lane) {
+        GrapeWorkspace::LaneScratch &ls =
+            ws.lanes[static_cast<std::size_t>(lane)];
+        const std::uint64_t before = probing ? ws.allocProbe() : 0;
         // Exact per-segment derivative: with U_total = S_j U_j A_{j-1},
         // dz/dc = Tr(V^dag S_j dU_j A_{j-1}) = Tr((A_{j-1} W_j) dU_j),
         // where dU_j is the Van Loan directional derivative of the
         // segment exponential.
         if (j > 0) {
-            mulInto(ws.pw, ws.fwd[j - 1], ws.wback[j]);
-            mulInto(ws.py, ws.fwd[j - 1], ws.yback[j]);
+            mulInto(ls.pw, ws.fwd[j - 1], ws.wback[j]);
+            mulInto(ls.py, ws.fwd[j - 1], ws.yback[j]);
         } else {
-            ws.pw.copyFrom(ws.wback[0]);
-            ws.py.copyFrom(ws.yback[0]);
+            ls.pw.copyFrom(ws.wback[0]);
+            ls.py.copyFrom(ws.yback[0]);
         }
         for (std::size_t k = 0; k < nk; ++k) {
             const CMatrix &du = ws.du[j][k];
-            const CMatrix::Scalar dz = traceOfProduct(ws.pw, du);
-            const CMatrix::Scalar dl_tr = traceOfProduct(ws.py, du);
+            const CMatrix::Scalar dz = traceOfProduct(ls.pw, du);
+            const CMatrix::Scalar dl_tr = traceOfProduct(ls.py, du);
             const double df =
                 2.0 * std::real(std::conj(z) * dz) / (h * h);
             const double dl = 2.0 / h * std::real(dl_tr);
             grad[k][j] = -df + opts_.leakageWeight * dl;
         }
+        if (probing)
+            ws.laneAllocs[static_cast<std::size_t>(lane)] +=
+                ws.allocProbe() - before;
+    };
+    if (pool) {
+        pool->parallelFor(0, static_cast<std::size_t>(segments_),
+                          segment_gradient);
+    } else {
+        for (int j = 0; j < segments_; ++j)
+            segment_gradient(static_cast<std::size_t>(j), 0);
     }
     return (1.0 - fidelity) + opts_.leakageWeight * leakage;
 }

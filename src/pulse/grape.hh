@@ -10,8 +10,10 @@
 #define QOMPRESS_PULSE_GRAPE_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "pulse/hamiltonian.hh"
 
 namespace qompress {
@@ -29,6 +31,16 @@ struct GrapeOptions
     /** Random-init amplitude as a fraction of the drive bound. */
     double initFraction = 0.05;
     std::uint64_t seed = 7;
+    /**
+     * Lanes for the per-segment fan-out inside objectiveAndGradient
+     * (segment exponentials and per-segment gradient rows are
+     * independent): 0 = process default (QOMPRESS_THREADS /
+     * hardware_concurrency), 1 = force serial, N = exactly N lanes.
+     * Results are bit-identical at every setting — each segment runs
+     * the identical kernel on the identical inputs; lanes only decide
+     * which thread executes it.
+     */
+    int threads = 0;
 };
 
 /** Outcome of one GRAPE run. */
@@ -45,9 +57,11 @@ struct GrapeResult
 /**
  * Caller-owned scratch for objectiveAndGradient: propagators,
  * cumulative products, backward partials, per-segment directional
- * derivatives, and the exponential workspaces. Reusing one workspace
- * across iterations makes a gradient step allocation-free after the
- * first call sizes every buffer.
+ * derivatives, and per-lane exponential/product scratch. Reusing one
+ * workspace across iterations makes a gradient step allocation-free
+ * after the first call sizes every buffer — with a pool, the property
+ * holds *per lane*: once a lane's scratch is warm, no invocation run
+ * on that lane touches the heap (assertable via allocProbe below).
  */
 struct GrapeWorkspace
 {
@@ -57,12 +71,44 @@ struct GrapeWorkspace
     std::vector<CMatrix> yback;   ///< mask^dag S_j backward partials
     std::vector<std::vector<CMatrix>> du; ///< dU_j/dc_k per segment
     std::vector<CMatrix> bgen;    ///< constant generators -i dt Hc_k
-    CMatrix hseg;                 ///< segment Hamiltonian accumulator
-    CMatrix agen;                 ///< segment generator -i dt H
     CMatrix mask;                 ///< leakage mask (guard rows of U)
-    CMatrix pw;                   ///< A_{j-1} W_j
-    CMatrix py;                   ///< A_{j-1} Y_j
-    ExpmFamilyWorkspace famWs;
+
+    /** Scratch owned by one parallelFor lane (lane 0 doubles as the
+     *  serial path's scratch): segment Hamiltonian/generator
+     *  accumulators, the A_{j-1}-prefixed partial products, and the
+     *  shared-series exponential workspace. */
+    struct LaneScratch
+    {
+        CMatrix hseg;             ///< segment Hamiltonian accumulator
+        CMatrix agen;             ///< segment generator -i dt H
+        CMatrix pw;               ///< A_{j-1} W_j
+        CMatrix py;               ///< A_{j-1} Y_j
+        ExpmFamilyWorkspace famWs;
+    };
+    std::vector<LaneScratch> lanes;
+
+    /** Private pool when GrapeOptions::threads asks for a lane count
+     *  other than the process default; persists across iterations so
+     *  warm gradient steps never spawn threads. */
+    std::optional<ThreadPool> ownPool;
+
+    /** Lanes (and system dimension) whose scratch has been eagerly
+     *  warmed; see the lane warm-up in objectiveAndGradient. */
+    std::size_t warmLaneCount = 0;
+    int warmDim = -1;
+
+    /**
+     * Optional allocation probe for the per-lane zero-alloc
+     * assertion: when set (e.g. to read bench_hotpaths' thread-local
+     * operator-new counter), every parallel segment invocation adds
+     * its probe delta to laneAllocs[lane]; a warm workspace must
+     * leave every entry at zero. The probe must read state local to
+     * the *calling thread* (a lane never migrates threads within one
+     * parallelFor, and only one thread holds a lane at a time, so the
+     * per-lane accumulation is race-free).
+     */
+    std::uint64_t (*allocProbe)() = nullptr;
+    std::vector<std::uint64_t> laneAllocs;
 };
 
 /** Gradient-based pulse search for a fixed gate duration. */
@@ -108,9 +154,17 @@ class GrapeOptimizer
      * J = (1 - F) + lambda * leakage and dJ/dcontrols ([k][j]).
      *
      * The hot path of a GRAPE run: propagators and all directional
-     * derivatives come from one shared-series Van Loan exponential per
-     * segment, and every temporary lives in @p ws -- zero heap
-     * allocations once the workspace is warm.
+     * derivatives come from one shared-series Van Loan (Padé-13)
+     * exponential per segment, and every temporary lives in @p ws --
+     * zero heap allocations once the workspace is warm (per lane when
+     * pooled; see GrapeWorkspace).
+     *
+     * The segment exponentials and the per-segment gradient rows fan
+     * out across GrapeOptions::threads pool lanes with per-lane
+     * scratch; the cumulative forward/backward products in between
+     * stay serial (they are sequential by construction). Results are
+     * bit-identical at every lane count. Calls already running on a
+     * pool worker degrade to serial automatically.
      */
     double objectiveAndGradient(
         const std::vector<std::vector<double>> &controls,

@@ -121,7 +121,31 @@ struct ExpmWorkspace
  *  @p ws, so repeated calls perform no heap allocation. */
 void expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws);
 
-/** Caller-owned scratch for expmFamilyInto. */
+/**
+ * Dense LU factorization with partial pivoting, built for repeated
+ * same-size solves: factor() reuses the factor storage and solve()
+ * works in place on the right-hand side, so a warm factor/solve pair
+ * performs no heap allocation.
+ */
+class LuSolver
+{
+  public:
+    /** Factor @p a (square). QFATALs on a numerically singular pivot
+     *  (cannot happen for the diagonally dominant Padé denominators
+     *  this class exists for). */
+    void factor(const CMatrix &a);
+
+    /** b := a^{-1} b for the last factored a (any column count). */
+    void solveInPlace(CMatrix &b) const;
+
+  private:
+    CMatrix lu_;            ///< packed L (unit diagonal) and U
+    std::vector<int> piv_;  ///< row swapped with k at step k
+};
+
+/** Caller-owned scratch for expmFamilyInto / expmFamilyIntoTaylor.
+ *  The Taylor members double as squaring/scratch space for the Padé
+ *  path; one workspace serves either entry point. */
 struct ExpmFamilyWorkspace
 {
     CMatrix p;                ///< current Taylor term, diagonal block
@@ -130,6 +154,17 @@ struct ExpmFamilyWorkspace
     CMatrix tmp2;
     std::vector<CMatrix> d;   ///< current Taylor terms, derivative blocks
     std::vector<CMatrix> sd;  ///< accumulated derivatives
+    /** @name Padé-13 blocks @{ */
+    CMatrix as;               ///< scaled A
+    CMatrix a2, a4, a6;       ///< even powers of As
+    CMatrix w1, w2, z1, z2;   ///< odd/even polynomial partial sums
+    CMatrix w;                ///< A6*W1 + W2
+    CMatrix u, v;             ///< odd part As*W, even part A6*Z1 + Z2
+    CMatrix q;                ///< denominator V - U
+    CMatrix bscaled;          ///< scaled direction
+    CMatrix m2, m4, m6;       ///< direction derivatives of A^{2,4,6}
+    LuSolver lu;
+    /** @} */
 };
 
 /**
@@ -138,15 +173,32 @@ struct ExpmFamilyWorkspace
  * exponential at @p a along bs[k].
  *
  * Exploits the block-triangular structure of the augmented matrix
- * [[A, B], [0, A]]: powers keep the form [[A^m, D_m], [0, A^m]], so
- * the Taylor and squaring recurrences run on n x n blocks -- the e^A
- * series is computed once and shared across all directions instead of
- * re-deriving it inside one 2n x 2n exponential per direction. All
- * temporaries live in @p ws (no allocation after warm-up).
+ * [[A, B], [0, A]]: every matrix function of it keeps the form
+ * [[f(A), Lf], [0, f(A)]], so the recurrences run on n x n blocks and
+ * the e^A work is shared across all directions instead of re-derived
+ * inside one 2n x 2n exponential per direction.
+ *
+ * This entry point is the Padé-13 scaling-and-squaring form (Higham's
+ * expm / the Al-Mohy-Higham Fréchet-derivative recurrences): the
+ * [13/13] approximant needs only 6 multiplies and one LU solve for
+ * e^A where the Taylor series needs ~13, and its scaling threshold
+ * (|M| <= ~5.37 instead of 0.5) saves 3-4 squaring passes per call on
+ * the GRAPE segment generators. The Taylor form is retained as
+ * expmFamilyIntoTaylor (the differential-test and bench reference);
+ * both agree to ~1e-13 on pulse workloads. All temporaries live in
+ * @p ws (no allocation after warm-up).
  */
 void expmFamilyInto(CMatrix &eA, std::vector<CMatrix> &ds,
                     const CMatrix &a, const std::vector<CMatrix> &bs,
                     ExpmFamilyWorkspace &ws);
+
+/** The pre-Padé Taylor scaling-and-squaring form of expmFamilyInto,
+ *  retained as the naive reference for differential tests and the
+ *  bench_hotpaths Padé-vs-Taylor section. Identical contract. */
+void expmFamilyIntoTaylor(CMatrix &eA, std::vector<CMatrix> &ds,
+                          const CMatrix &a,
+                          const std::vector<CMatrix> &bs,
+                          ExpmFamilyWorkspace &ws);
 
 } // namespace qompress
 

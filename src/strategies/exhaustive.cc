@@ -40,23 +40,10 @@ ExhaustiveStrategy::choosePairsWithTrace(
     // Lane 0 reuses the caller's context; other lanes lazily build
     // their own (the cache is single-writer state), created at most
     // once per choosePairs call and reused across all rounds. Calls
-    // already running on a pool worker stay serial.
-    const int want = cfg.threads > 0 ? cfg.threads
-                                     : ThreadPool::defaultThreadCount();
+    // already running on a pool worker stay serial
+    // (ThreadPool::forRequest returns nullptr there).
     std::optional<ThreadPool> own_pool;
-    ThreadPool *pool = nullptr;
-    if (want > 1 && !ThreadPool::onWorkerThread()) {
-        // Reuse the process pool when the request matches its sizing
-        // (comparing against defaultThreadCount so a mismatching
-        // request never force-constructs the global pool's threads);
-        // otherwise spin up a private pool for this search.
-        if (want == ThreadPool::defaultThreadCount()) {
-            pool = &ThreadPool::global();
-        } else {
-            own_pool.emplace(want);
-            pool = &*own_pool;
-        }
-    }
+    ThreadPool *pool = ThreadPool::forRequest(cfg.threads, own_pool);
     std::vector<std::unique_ptr<CompileContext>> lane_ctx(
         pool ? pool->numThreads() : 1);
     auto ctx_of_lane = [&](int lane) -> CompileContext * {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "common/error.hh"
 #include "graph/algorithms.hh"
@@ -233,12 +234,16 @@ class FqRouter
 CompileResult
 FullQuquartStrategy::compile(const Circuit &circuit, const Topology &topo,
                              const GateLibrary &lib,
-                             const CompilerConfig &cfg) const
+                             const CompilerConfig &cfg,
+                             CompileContext *ctx_in) const
 {
     const Circuit native = isNative(circuit)
         ? circuit : decomposeToNativeGates(circuit);
     const InteractionModel im(native);
-    CompileContext ctx(topo, lib, cfg);
+    std::optional<CompileContext> local;
+    if (!ctx_in)
+        local.emplace(topo, lib, cfg);
+    CompileContext &ctx = ctx_in ? *ctx_in : *local;
     const auto pairs = choosePairs(native, topo, lib, cfg, ctx);
     const int n = native.numQubits();
 

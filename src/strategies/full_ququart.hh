@@ -29,9 +29,11 @@ class FullQuquartStrategy : public CompressionStrategy
                 const GateLibrary &lib, const CompilerConfig &cfg,
                 CompileContext &ctx) const override;
 
+    using CompressionStrategy::compile;
     CompileResult compile(const Circuit &circuit, const Topology &topo,
                           const GateLibrary &lib,
-                          const CompilerConfig &cfg = {}) const override;
+                          const CompilerConfig &cfg,
+                          CompileContext *ctx) const override;
 };
 
 } // namespace qompress

@@ -1,6 +1,9 @@
 #include "strategies/portfolio.hh"
 
+#include <optional>
+
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 
 namespace qompress {
 
@@ -13,28 +16,52 @@ PortfolioStrategy::PortfolioStrategy(std::vector<std::string> names)
 CompileResult
 PortfolioStrategy::compile(const Circuit &circuit, const Topology &topo,
                            const GateLibrary &lib,
-                           const CompilerConfig &cfg) const
+                           const CompilerConfig &cfg,
+                           CompileContext *ctx) const
 {
-    CompileResult best;
-    bool have = false;
-    for (const auto &name : names_) {
-        const auto member = makeStrategy(name);
-        CompileResult res;
+    // Members each build their own context: contexts are single-writer
+    // and the members may run concurrently, so the caller's context
+    // (if any) cannot be shared out to them.
+    (void)ctx;
+
+    const std::size_t n = names_.size();
+    std::vector<std::optional<CompileResult>> results(n);
+    auto compile_member = [&](std::size_t i, int) {
         try {
-            res = member->compile(circuit, topo, lib, cfg);
+            results[i] =
+                makeStrategy(names_[i])->compile(circuit, topo, lib, cfg);
         } catch (const FatalError &) {
             // A member may not fit (e.g. qubit-only over capacity);
-            // the portfolio simply skips it.
-            continue;
+            // the portfolio simply skips it (slot stays empty).
         }
-        if (!have || res.metrics.totalEps > best.metrics.totalEps) {
-            best = std::move(res);
-            lastWinner_ = name;
-            have = true;
+    };
+
+    std::optional<ThreadPool> own_pool;
+    if (ThreadPool *pool = ThreadPool::forRequest(cfg.threads, own_pool)) {
+        pool->parallelFor(0, n, compile_member);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            compile_member(i, 0);
+    }
+
+    // Deterministic serial reduction in member order with the strict
+    // ">" the serial loop used: ties keep the earliest member, and
+    // lastWinner_ is written exactly once, by this (the calling)
+    // thread, after all lanes have joined.
+    CompileResult best;
+    const std::string *winner = nullptr;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!results[i])
+            continue;
+        if (!winner ||
+            results[i]->metrics.totalEps > best.metrics.totalEps) {
+            best = std::move(*results[i]);
+            winner = &names_[i];
         }
     }
-    QFATAL_IF(!have, "no portfolio member could compile '",
+    QFATAL_IF(!winner, "no portfolio member could compile '",
               circuit.name(), "' on ", topo.name());
+    lastWinner_ = *winner;
     return best;
 }
 

@@ -4,6 +4,16 @@
  * result by total EPS. The paper evaluates strategies side by side;
  * a deployment would simply take the winner, which this class
  * packages behind the common interface.
+ *
+ * The member compiles are independent, so they fan out across the
+ * thread pool (CompilerConfig::threads lanes) with the same
+ * pre-sized-slots + serial-reduction pattern as the exhaustive
+ * strategy: every member's result lands in its own slot, then the
+ * winner is chosen in member order with the same strict comparison
+ * the serial loop used — so the winner (and lastWinner()) is
+ * identical at every lane count. Members that themselves want lanes
+ * are safe: compiles running on a pool worker degrade their internal
+ * fan-out to inline execution.
  */
 
 #ifndef QOMPRESS_STRATEGIES_PORTFOLIO_HH
@@ -25,11 +35,17 @@ class PortfolioStrategy : public CompressionStrategy
 
     std::string name() const override { return "portfolio"; }
 
+    using CompressionStrategy::compile;
     CompileResult compile(const Circuit &circuit, const Topology &topo,
                           const GateLibrary &lib,
-                          const CompilerConfig &cfg = {}) const override;
+                          const CompilerConfig &cfg,
+                          CompileContext *ctx) const override;
 
-    /** Name of the member that won the last compile() call. */
+    /** Name of the member that won the last compile() call. Written
+     *  once per compile by the calling thread (after the parallel
+     *  members join), so it is race-free at any lane count; like the
+     *  rest of the class it is not synchronized against *concurrent
+     *  compile() calls on the same instance*. */
     const std::string &lastWinner() const { return lastWinner_; }
 
   private:

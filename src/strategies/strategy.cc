@@ -1,5 +1,7 @@
 #include "strategies/strategy.hh"
 
+#include <optional>
+
 #include "common/error.hh"
 #include "ir/passes.hh"
 #include "strategies/awe.hh"
@@ -33,16 +35,22 @@ CompressionStrategy::choosePairs(const Circuit &native,
 CompileResult
 CompressionStrategy::compile(const Circuit &circuit, const Topology &topo,
                              const GateLibrary &lib,
-                             const CompilerConfig &cfg) const
+                             const CompilerConfig &cfg,
+                             CompileContext *ctx) const
 {
     const Circuit native = isNative(circuit)
         ? circuit : decomposeToNativeGates(circuit);
     // One context end to end: fields warmed while choosing pairs are
-    // reused by the final mapping and routing.
-    CompileContext ctx(topo, lib, cfg);
-    const auto pairs = choosePairs(native, topo, lib, cfg, ctx);
+    // reused by the final mapping and routing (and, when the caller
+    // supplied the context, by its subsequent compiles too).
+    std::optional<CompileContext> local;
+    if (!ctx) {
+        local.emplace(topo, lib, cfg);
+        ctx = &*local;
+    }
+    const auto pairs = choosePairs(native, topo, lib, cfg, *ctx);
     return compileWithPairs(native, topo, lib, pairs,
-                            allowDynamicSlot1(), cfg, &ctx);
+                            allowDynamicSlot1(), cfg, ctx);
 }
 
 std::vector<std::unique_ptr<CompressionStrategy>>

@@ -63,14 +63,36 @@ class CompressionStrategy
     /** Whether the mapper may invent extra pairs (EQM). */
     virtual bool allowDynamicSlot1() const { return false; }
 
-    /** Full compilation; the default decomposes, picks pairs, and runs
-     *  the shared pipeline -- all against one CompileContext. Safe to
-     *  call concurrently on one strategy instance (each call builds
-     *  its own context). */
+    /**
+     * Full compilation; the default decomposes, picks pairs, and runs
+     * the shared pipeline -- all against one CompileContext. Safe to
+     * call concurrently on one strategy instance (each call builds
+     * its own context).
+     *
+     * @param ctx optional caller-owned context built over the same
+     *        topo/lib/cfg pricing; parallel sweeps (eval/sweep.cc)
+     *        pass one per lane so the expanded graph, cost model, and
+     *        warmed distance fields are reused across the lane's
+     *        cells instead of being re-derived per compile. Single
+     *        writer: never share one across concurrent compiles. The
+     *        cache invariant (caching never changes what a compile
+     *        emits) keeps results independent of whether and how a
+     *        context is reused. When null, a compile-local context is
+     *        built.
+     */
     virtual CompileResult compile(const Circuit &circuit,
                                   const Topology &topo,
                                   const GateLibrary &lib,
-                                  const CompilerConfig &cfg = {}) const;
+                                  const CompilerConfig &cfg,
+                                  CompileContext *ctx) const;
+
+    /** Convenience overload: compile with a compile-local context. */
+    CompileResult compile(const Circuit &circuit, const Topology &topo,
+                          const GateLibrary &lib,
+                          const CompilerConfig &cfg = {}) const
+    {
+        return compile(circuit, topo, lib, cfg, nullptr);
+    }
 };
 
 /** Never compresses; the paper's qubit-only baseline. */

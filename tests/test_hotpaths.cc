@@ -155,6 +155,64 @@ TEST(HotpathMatrix, FamilyExponentialMatchesAugmented)
     }
 }
 
+TEST(HotpathMatrix, LuSolverInvertsRandomSystems)
+{
+    Rng rng(23);
+    for (int n : {1, 2, 5, 9}) {
+        CMatrix a(n, n);
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                a(r, c) = CMatrix::Scalar(rng.nextGaussian(),
+                                          rng.nextGaussian());
+        CMatrix b(n, n + 2); // non-square right-hand side too
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n + 2; ++c)
+                b(r, c) = CMatrix::Scalar(rng.nextGaussian(),
+                                          rng.nextGaussian());
+        LuSolver lu;
+        lu.factor(a);
+        CMatrix x = b;
+        lu.solveInPlace(x);
+        const CMatrix residual = a * x - b;
+        EXPECT_LE(residual.norm(), 1e-10 * (1.0 + b.norm())) << n;
+    }
+}
+
+TEST(HotpathMatrix, PadeFamilyMatchesTaylorFamilyTo1e12)
+{
+    // The production Padé-13 kernel vs the retained Taylor reference
+    // on anti-Hermitian arguments spanning several scaling regimes
+    // (norms below and well above theta_13).
+    Rng rng(29);
+    const int n = 7;
+    for (double mag : {0.05, 1.0, 8.0, 40.0}) {
+        CMatrix a(n, n);
+        std::vector<CMatrix> bs(3, CMatrix(n, n));
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                a(r, c) = CMatrix::Scalar(0.0, mag * rng.nextGaussian());
+                for (auto &b : bs)
+                    b(r, c) = CMatrix::Scalar(
+                        0.0, 0.2 * mag * rng.nextGaussian());
+            }
+        }
+        ExpmFamilyWorkspace ws;
+        CMatrix eA, eA_ref;
+        std::vector<CMatrix> ds, ds_ref;
+        expmFamilyInto(eA, ds, a, bs, ws);
+        expmFamilyIntoTaylor(eA_ref, ds_ref, a, bs, ws);
+        // Tolerance scales with the result magnitude: the derivative
+        // blocks grow with |B| while e^A stays unitary-bounded.
+        EXPECT_LE((eA - eA_ref).norm(), 1e-12 * (1.0 + eA_ref.norm()))
+            << "mag " << mag;
+        ASSERT_EQ(ds.size(), ds_ref.size());
+        for (std::size_t k = 0; k < ds.size(); ++k)
+            EXPECT_LE((ds[k] - ds_ref[k]).norm(),
+                      1e-12 * (1.0 + ds_ref[k].norm()))
+                << "mag " << mag << " direction " << k;
+    }
+}
+
 TEST(HotpathGrape, OptimizedGradientMatchesNaive)
 {
     std::vector<int> dims;

@@ -11,6 +11,12 @@
  *  - Sharded Statevector::applyUnitary: amplitudes match the serial
  *    kernels exactly (==, not a tolerance) both above and below the
  *    sharding threshold, and match the naive reference to 1e-12.
+ *  - Eval sweep: runSweep records are bit-identical at 1/2/8 lanes,
+ *    on default grid devices and on heavyHex65.
+ *  - Portfolio: winner, lastWinner(), and the full compiled result
+ *    are identical at 1/2/8 lanes on ring, grid, and heavy-hex.
+ *  - GRAPE: objective, fidelity, leakage, and every gradient entry
+ *    are bit-identical at 1/2/8 lanes.
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +30,10 @@
 #include "circuits/graphs.hh"
 #include "circuits/qaoa.hh"
 #include "common/thread_pool.hh"
+#include "eval/sweep.hh"
+#include "pulse/grape.hh"
+#include "pulse/targets.hh"
+#include "strategies/portfolio.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
@@ -192,6 +202,232 @@ TEST(ExhaustiveDeterminism, UnorderedVariantToo)
     const CompileResult pooled =
         makeStrategy("ec_unordered")->compile(bv, topo, lib, cfg);
     expectIdenticalCompiles(serial, pooled, "ec_unordered / grid6");
+}
+
+// ------------------------------------------------ sweep determinism
+
+void
+expectIdenticalRecords(const std::vector<SweepRecord> &a,
+                       const std::vector<SweepRecord> &b,
+                       const std::string &ctx)
+{
+    ASSERT_EQ(a.size(), b.size()) << ctx;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const SweepRecord &x = a[i];
+        const SweepRecord &y = b[i];
+        EXPECT_EQ(x.family, y.family) << ctx << " record " << i;
+        EXPECT_EQ(x.strategy, y.strategy) << ctx << " record " << i;
+        EXPECT_EQ(x.requestedSize, y.requestedSize)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.qubits, y.qubits) << ctx << " record " << i;
+        EXPECT_EQ(x.numCompressions, y.numCompressions)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.metrics.gateEps, y.metrics.gateEps)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.metrics.coherenceEps, y.metrics.coherenceEps)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.metrics.totalEps, y.metrics.totalEps)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.metrics.durationNs, y.metrics.durationNs)
+            << ctx << " record " << i;
+        EXPECT_EQ(x.metrics.numGates, y.metrics.numGates)
+            << ctx << " record " << i;
+    }
+}
+
+void
+expectSweepLaneInvariant(SweepSpec spec, const std::string &ctx)
+{
+    spec.threads = 1;
+    const auto serial = runSweep(spec);
+    ASSERT_FALSE(serial.empty()) << ctx;
+    for (int lanes : {2, 8}) {
+        spec.threads = lanes;
+        expectIdenticalRecords(serial, runSweep(spec),
+                               ctx + " / " + std::to_string(lanes) +
+                                   " lanes");
+    }
+}
+
+TEST(SweepDeterminism, GridDevices)
+{
+    SweepSpec spec;
+    spec.families = {"bv", "qaoa_random"};
+    spec.sizes = {6, 9};
+    spec.strategies = {"qubit_only", "eqm", "rb", "awe", "pp"};
+    spec.config.lookaheadWeight = 0.5;
+    expectSweepLaneInvariant(spec, "grid sweep");
+}
+
+TEST(SweepDeterminism, RingDevices)
+{
+    SweepSpec spec;
+    spec.families = {"bv"};
+    spec.sizes = {6, 8};
+    spec.strategies = {"qubit_only", "awe", "pp", "ec"};
+    spec.device = [](const Circuit &c) {
+        return Topology::ring(c.numQubits());
+    };
+    expectSweepLaneInvariant(spec, "ring sweep");
+}
+
+TEST(SweepDeterminism, HeavyHex65Devices)
+{
+    SweepSpec spec;
+    spec.families = {"qaoa_random"};
+    spec.sizes = {8};
+    // "ec" nests the exhaustive fan-out inside sweep workers and
+    // "portfolio" nests member fan-out: both must degrade to inline
+    // execution and stay bit-identical.
+    spec.strategies = {"qubit_only", "awe", "pp", "portfolio"};
+    spec.device = [](const Circuit &) {
+        return Topology::heavyHex65();
+    };
+    expectSweepLaneInvariant(spec, "heavyHex65 sweep");
+}
+
+TEST(SweepDeterminism, NonFittingCellsStayInvariant)
+{
+    // Over-capacity members record qubits = 0; the slot layout must
+    // be stable across lane counts even with failing cells mixed in.
+    SweepSpec spec;
+    spec.families = {"cuccaro"};
+    spec.sizes = {12};
+    spec.strategies = {"qubit_only", "eqm"};
+    spec.device = [](const Circuit &c) {
+        return Topology::grid((c.numQubits() + 1) / 2);
+    };
+    expectSweepLaneInvariant(spec, "non-fitting sweep");
+}
+
+// --------------------------------------------- portfolio determinism
+
+void
+expectPortfolioLaneInvariant(const Circuit &circuit,
+                             const Topology &topo)
+{
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+
+    const PortfolioStrategy portfolio;
+    cfg.threads = 1;
+    const CompileResult serial =
+        portfolio.compile(circuit, topo, lib, cfg);
+    const std::string serial_winner = portfolio.lastWinner();
+    EXPECT_FALSE(serial_winner.empty());
+
+    for (int lanes : {2, 8}) {
+        cfg.threads = lanes;
+        const CompileResult pooled =
+            portfolio.compile(circuit, topo, lib, cfg);
+        const std::string ctx = circuit.name() + " / " + topo.name() +
+                                " / " + std::to_string(lanes) +
+                                " lanes";
+        EXPECT_EQ(portfolio.lastWinner(), serial_winner) << ctx;
+        expectIdenticalCompiles(serial, pooled, ctx);
+    }
+}
+
+TEST(PortfolioDeterminism, Ring)
+{
+    expectPortfolioLaneInvariant(bernsteinVazirani(6),
+                                 Topology::ring(8));
+}
+
+TEST(PortfolioDeterminism, Grid)
+{
+    expectPortfolioLaneInvariant(
+        qaoaFromGraph(randomGraph(6, 0.5, 21)), Topology::grid(6));
+}
+
+TEST(PortfolioDeterminism, HeavyHex65)
+{
+    expectPortfolioLaneInvariant(
+        qaoaFromGraph(randomGraph(6, 0.4, 9)), Topology::heavyHex65());
+}
+
+TEST(PortfolioDeterminism, SkipsOverCapacityMembersAtAnyLaneCount)
+{
+    // 8 qubits on 4 units: qubit_only cannot fit; the skip (and the
+    // winner among the rest) must be lane-count-invariant.
+    expectPortfolioLaneInvariant(bernsteinVazirani(8),
+                                 Topology::grid(4));
+}
+
+// ------------------------------------------------- GRAPE determinism
+
+TEST(GrapeDeterminism, GradientBitIdenticalAcrossLaneCounts)
+{
+    std::vector<int> dims;
+    const CMatrix target = namedTarget("CX2", dims);
+    const TransmonSystem system(dims, /*guard_levels=*/1);
+
+    std::vector<std::vector<double>> controls;
+    std::vector<std::vector<double>> grad_serial, grad;
+    double j_serial = 0.0, f_serial = 0.0, l_serial = 0.0;
+    {
+        GrapeOptions opts;
+        opts.threads = 1;
+        GrapeOptimizer grape(system, target, 80.0, 16, opts);
+        Rng rng(41);
+        controls.assign(grape.numControls(),
+                        std::vector<double>(grape.segments(), 0.0));
+        const double amp = 0.3 * system.maxAmplitude();
+        for (auto &row : controls)
+            for (auto &v : row)
+                v = rng.nextDouble(-amp, amp);
+        GrapeWorkspace ws;
+        j_serial = grape.objectiveAndGradient(controls, grad_serial,
+                                              f_serial, l_serial, ws);
+    }
+
+    for (int lanes : {2, 8}) {
+        GrapeOptions opts;
+        opts.threads = lanes;
+        GrapeOptimizer grape(system, target, 80.0, 16, opts);
+        GrapeWorkspace ws;
+        double fid = 0.0, leak = 0.0;
+        // Two calls: the second exercises the fully warm path, which
+        // must agree just as exactly.
+        grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+        const double j =
+            grape.objectiveAndGradient(controls, grad, fid, leak, ws);
+        EXPECT_EQ(j, j_serial) << lanes << " lanes";
+        EXPECT_EQ(fid, f_serial) << lanes << " lanes";
+        EXPECT_EQ(leak, l_serial) << lanes << " lanes";
+        ASSERT_EQ(grad.size(), grad_serial.size()) << lanes;
+        for (std::size_t k = 0; k < grad.size(); ++k) {
+            ASSERT_EQ(grad[k].size(), grad_serial[k].size());
+            for (std::size_t s = 0; s < grad[k].size(); ++s)
+                EXPECT_EQ(grad[k][s], grad_serial[k][s])
+                    << lanes << " lanes, control " << k << " segment "
+                    << s;
+        }
+    }
+}
+
+TEST(GrapeDeterminism, RunConvergesIdenticallyPooled)
+{
+    // A short end-to-end run (Adam steps on top of the pooled
+    // gradient) must trace the identical optimization path.
+    std::vector<int> dims;
+    const CMatrix target = namedTarget("X", dims);
+    const TransmonSystem system(dims, /*guard_levels=*/1);
+    GrapeOptions opts;
+    opts.maxIterations = 8;
+    opts.threads = 1;
+    const GrapeResult serial =
+        GrapeOptimizer(system, target, 24.0, 12, opts).run();
+    opts.threads = 4;
+    const GrapeResult pooled =
+        GrapeOptimizer(system, target, 24.0, 12, opts).run();
+    EXPECT_EQ(serial.fidelity, pooled.fidelity);
+    EXPECT_EQ(serial.leakage, pooled.leakage);
+    EXPECT_EQ(serial.iterations, pooled.iterations);
+    ASSERT_EQ(serial.controls.size(), pooled.controls.size());
+    for (std::size_t k = 0; k < serial.controls.size(); ++k)
+        EXPECT_EQ(serial.controls[k], pooled.controls[k]);
 }
 
 // ------------------------------------------------- sharded statevector

@@ -11,7 +11,10 @@ Usage:
     tools/bench_diff.py baseline.json candidate.json --regress-threshold=10
 
 Timings (metrics ending in "_ms") count as regressions when candidate
-exceeds baseline * threshold; other metrics are informational.
+exceeds baseline * threshold; other metrics are informational. Metrics
+present in only one file are listed (not gated), and each file's
+"host" metadata object (nproc, QOMPRESS_THREADS, build type) is echoed
+so cross-host comparisons are interpretable.
 
 --regress-threshold=N expresses the same gate as a percentage: exit
 non-zero when any timed section slows down by more than N%. It is the
@@ -22,20 +25,33 @@ import json
 import sys
 
 
-def load_metrics(path):
+def load_doc(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except OSError as e:
         raise SystemExit(f"{path}: {e.strerror}")
     except json.JSONDecodeError as e:
         raise SystemExit(f"{path}: not valid JSON ({e})")
+
+
+def metrics_of(doc, path):
     metrics = doc.get("metrics", doc)
     if not isinstance(metrics, dict):
         raise SystemExit(f"{path}: no metrics object")
     return {
         k: v for k, v in metrics.items() if isinstance(v, (int, float))
     }
+
+
+def describe_host(doc):
+    """One-line rendering of the bench's host metadata object, so a
+    cross-host comparison (e.g. laptop vs the single-core container
+    that produced a committed snapshot) is visible in the output."""
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        return "(no host metadata)"
+    return " ".join(f"{k}={v}" for k, v in sorted(host.items()))
 
 
 def main(argv):
@@ -70,14 +86,23 @@ def main(argv):
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
-    base = load_metrics(args[0])
-    cand = load_metrics(args[1])
+    base_doc = load_doc(args[0])
+    cand_doc = load_doc(args[1])
+    base = metrics_of(base_doc, args[0])
+    cand = metrics_of(cand_doc, args[1])
     shared = sorted(set(base) & set(cand))
     if not shared:
         print("no shared numeric metrics", file=sys.stderr)
         return 2
     only_base = sorted(set(base) - set(cand))
     only_cand = sorted(set(cand) - set(base))
+
+    print(f"baseline  host: {describe_host(base_doc)}")
+    print(f"candidate host: {describe_host(cand_doc)}")
+    if describe_host(base_doc) != describe_host(cand_doc):
+        print("note: host metadata differs; timing ratios compare "
+              "different machines/configurations")
+    print()
 
     width = max(len(k) for k in shared)
     regressions = []
