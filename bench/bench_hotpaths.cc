@@ -6,9 +6,11 @@
  * Padé-13 vs Taylor family exponential, SWAP routing over the
  * expanded graph, full mapping+routing of the deep QAOA/heavy-hex
  * workload, the exhaustive strategy's candidate-pair sweep on
- * heavyHex65 (serial vs thread-pool fan-out at 2/4/8 lanes), and the
- * evaluation-sweep cell fan-out at 1/2/4/8 lanes -- against the
- * retained naive/uncached/serial reference paths in the same binary,
+ * heavyHex65 (serial vs thread-pool fan-out at 2/4/8 lanes), the
+ * evaluation-sweep cell fan-out at 1/2/4/8 lanes, and the
+ * CompilerService request path (cold vs warm-memo-cache batch
+ * throughput at 1/2/4/8 lanes) -- against the retained
+ * naive/uncached/serial reference paths in the same binary,
  * and emits machine-readable JSON with a "host" metadata object
  * (nproc, QOMPRESS_THREADS, build type) so snapshots from different
  * machines stay interpretable (the BENCH_*.json trajectory; compare
@@ -22,11 +24,15 @@
  *                Padé-13 family exponential matches the Taylor
  *                reference to 1e-12 and beats it by >= 1.15x, that
  *                cached (partial-invalidation) and uncached
- *                mapping+routing emit identical circuits, and that
+ *                mapping+routing emit identical circuits, that
  *                the exhaustive search, the eval sweep, and the GRAPE
  *                gradient produce bit-identical results at every lane
- *                count; exits nonzero on violation. Registered under
- *                ctest label "bench".
+ *                count, and that CompilerService requests are
+ *                bit-identical to direct strategy compiles at every
+ *                lane count with warm (memoized) batches beating cold
+ *                ones by >= the memo cache's expected margin; exits
+ *                nonzero on violation. Registered under ctest label
+ *                "bench".
  *   --quick      smaller repetition counts.
  *   --out=FILE   also write the JSON to FILE.
  */
@@ -47,6 +53,7 @@
 #include "circuits/bv.hh"
 #include "circuits/graphs.hh"
 #include "circuits/qaoa.hh"
+#include "circuits/registry.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
@@ -55,6 +62,7 @@
 #include "pulse/grape.hh"
 #include "pulse/hamiltonian.hh"
 #include "pulse/targets.hh"
+#include "service/compiler_service.hh"
 #include "sim/statevector.hh"
 #include "strategies/awe.hh"
 #include "strategies/exhaustive.hh"
@@ -642,6 +650,136 @@ benchPade(int reps)
     return res;
 }
 
+struct ServiceBenchResult
+{
+    double cold_t1_ms, cold_t2_ms, cold_t4_ms, cold_t8_ms;
+    double warm_t1_ms, warm_t2_ms, warm_t4_ms, warm_t8_ms;
+    bool identical; // service artifacts == direct strategy compiles
+    std::uint64_t requests; // distinct requests per pass
+    std::uint64_t hits;     // memo hits observed at 1 lane
+    std::uint64_t misses;   // memo misses observed at 1 lane
+};
+
+/** Warm batches must beat cold ones at least this much (they skip the
+ *  whole pipeline: a warm request is request fingerprinting plus one
+ *  locked map lookup). Asserted under --check. */
+constexpr double kServiceWarmMargin = 5.0;
+
+bool
+sameCompileResults(const CompileResult &a, const CompileResult &b)
+{
+    return sameGates(a.compiled, b.compiled) &&
+           a.compressions == b.compressions &&
+           a.metrics.gateEps == b.metrics.gateEps &&
+           a.metrics.coherenceEps == b.metrics.coherenceEps &&
+           a.metrics.totalEps == b.metrics.totalEps &&
+           a.metrics.durationNs == b.metrics.durationNs &&
+           a.metrics.numGates == b.metrics.numGates;
+}
+
+/**
+ * The service-front-end workload: a (family x size x strategy)
+ * request grid -- the redundant-compile shape of every evaluation
+ * sweep -- issued twice through a CompilerService at each lane count.
+ * The cold pass (memo cleared) measures request-path compile
+ * throughput; the warm pass measures memoized request throughput.
+ * Artifacts must be bit-identical to direct strategy compiles at
+ * every lane count, and the warm pass must beat the cold one by the
+ * memo cache's expected margin.
+ */
+ServiceBenchResult
+benchService(int reps, int sizes_hi)
+{
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+
+    std::vector<CompileRequest> reqs;
+    std::vector<CompileResult> direct;
+    for (const char *family : {"bv", "qaoa_random"}) {
+        for (int size : {8, sizes_hi}) {
+            const Circuit circuit = benchmarkFamily(family).make(size);
+            const Topology topo = Topology::grid(circuit.numQubits());
+            for (const char *strat : {"eqm", "rb", "awe"}) {
+                reqs.push_back(CompileRequest::forCircuit(
+                    circuit, topo, strat, cfg, lib));
+                direct.push_back(makeStrategy(strat)->compile(
+                    circuit, topo, lib, cfg));
+            }
+        }
+    }
+
+    ServiceBenchResult res{};
+    res.identical = true;
+    res.requests = static_cast<std::uint64_t>(reqs.size());
+    for (int lanes : {1, 2, 4, 8}) {
+        ServiceOptions sopts;
+        sopts.threads = lanes;
+        CompilerService service(sopts);
+
+        auto run_pass = [&](double &ms_acc,
+                            std::vector<CompileArtifact> *out) {
+            const auto t0 = Clock::now();
+            auto handles = service.submitBatch(reqs, lanes);
+            for (std::size_t i = 0; i < handles.size(); ++i) {
+                CompileArtifact a = handles[i].get();
+                if (out)
+                    (*out)[i] = std::move(a);
+            }
+            ms_acc += 1e3 * secondsSince(t0);
+        };
+
+        // Discarded warm-up: spawns the lane pool, grows the
+        // allocator, and populates the memo once.
+        double discard = 0.0;
+        run_pass(discard, nullptr);
+
+        double cold_ms = 0.0, warm_ms = 0.0;
+        std::vector<CompileArtifact> artifacts(reqs.size());
+        // Warm passes are microseconds; batch them per cold rep so the
+        // timer sees a stable window.
+        const int warm_iters = 20;
+        for (int r = 0; r < reps; ++r) {
+            service.clearCache(); // drop artifacts AND pooled contexts
+            run_pass(cold_ms, r == 0 ? &artifacts : nullptr);
+            double warm_acc = 0.0;
+            for (int w = 0; w < warm_iters; ++w)
+                run_pass(warm_acc, nullptr);
+            warm_ms += warm_acc / warm_iters;
+        }
+        cold_ms /= reps;
+        warm_ms /= reps;
+
+        for (std::size_t i = 0; i < artifacts.size(); ++i) {
+            res.identical = res.identical &&
+                            sameCompileResults(*artifacts[i], direct[i]);
+        }
+        switch (lanes) {
+        case 1: {
+            res.cold_t1_ms = cold_ms;
+            res.warm_t1_ms = warm_ms;
+            const ServiceStats stats = service.stats();
+            res.hits = stats.hits;
+            res.misses = stats.misses;
+            break;
+        }
+        case 2:
+            res.cold_t2_ms = cold_ms;
+            res.warm_t2_ms = warm_ms;
+            break;
+        case 4:
+            res.cold_t4_ms = cold_ms;
+            res.warm_t4_ms = warm_ms;
+            break;
+        default:
+            res.cold_t8_ms = cold_ms;
+            res.warm_t8_ms = warm_ms;
+            break;
+        }
+    }
+    return res;
+}
+
 } // namespace
 
 int
@@ -667,6 +805,11 @@ main(int argc, char **argv)
     // The Padé/Taylor ratio gates --check, so keep its rep count high
     // enough to be stable even there (~tens of ms per path).
     const int pade_reps = args.quick ? 20 : 40;
+    // The warm/cold service ratio also gates --check; the margin is
+    // wide (kServiceWarmMargin vs a real ~100x), so small rep counts
+    // stay safe.
+    const int service_reps = check ? 2 : (args.quick ? 2 : 4);
+    const int service_hi = check ? 10 : (args.quick ? 12 : 14);
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
@@ -676,6 +819,7 @@ main(int argc, char **argv)
     const SweepBenchResult sw = benchSweep(sweep_hi);
     const GrapeLanesBenchResult gl = benchGrapeLanes(grape_lane_reps);
     const PadeBenchResult pd = benchPade(pade_reps);
+    const ServiceBenchResult sv = benchService(service_reps, service_hi);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -693,13 +837,15 @@ main(int argc, char **argv)
         gl.t4_ms > 0.0 ? gl.serial_ms / gl.t4_ms : 0.0;
     const double pade_speedup =
         pd.pade_ms > 0.0 ? pd.taylor_ms / pd.pade_ms : 0.0;
+    const double service_warm_speedup =
+        sv.warm_t1_ms > 0.0 ? sv.cold_t1_ms / sv.warm_t1_ms : 0.0;
 
     const char *qt_env = std::getenv("QOMPRESS_THREADS");
 #ifndef QOMPRESS_BUILD_TYPE
 #define QOMPRESS_BUILD_TYPE "unknown"
 #endif
 
-    char buf[8192];
+    char buf[12288];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -756,7 +902,20 @@ main(int argc, char **argv)
         "    \"expm_pade_ms\": %.4f,\n"
         "    \"expm_taylor_ms\": %.4f,\n"
         "    \"expm_pade_speedup\": %.3f,\n"
-        "    \"expm_pade_max_diff\": %.3e\n"
+        "    \"expm_pade_max_diff\": %.3e,\n"
+        "    \"service_cold_t1_ms\": %.4f,\n"
+        "    \"service_cold_t2_ms\": %.4f,\n"
+        "    \"service_cold_t4_ms\": %.4f,\n"
+        "    \"service_cold_t8_ms\": %.4f,\n"
+        "    \"service_warm_t1_ms\": %.4f,\n"
+        "    \"service_warm_t2_ms\": %.4f,\n"
+        "    \"service_warm_t4_ms\": %.4f,\n"
+        "    \"service_warm_t8_ms\": %.4f,\n"
+        "    \"service_warm_speedup\": %.3f,\n"
+        "    \"service_requests\": %llu,\n"
+        "    \"service_hits\": %llu,\n"
+        "    \"service_misses\": %llu,\n"
+        "    \"service_identical\": %s\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -781,7 +940,13 @@ main(int argc, char **argv)
         gl.t4_ms, gl.t8_ms, grape_seg_speedup_t4,
         static_cast<unsigned long long>(gl.warm_lane_allocs),
         gl.identical ? "true" : "false", pd.pade_ms, pd.taylor_ms,
-        pade_speedup, pd.max_diff);
+        pade_speedup, pd.max_diff, sv.cold_t1_ms, sv.cold_t2_ms,
+        sv.cold_t4_ms, sv.cold_t8_ms, sv.warm_t1_ms, sv.warm_t2_ms,
+        sv.warm_t4_ms, sv.warm_t8_ms, service_warm_speedup,
+        static_cast<unsigned long long>(sv.requests),
+        static_cast<unsigned long long>(sv.hits),
+        static_cast<unsigned long long>(sv.misses),
+        sv.identical ? "true" : "false");
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -829,6 +994,15 @@ main(int argc, char **argv)
         expect(pade_speedup >= 1.15,
                "Pade-13 family exponential beats the Taylor reference "
                "by >= 1.15x");
+        expect(sv.identical,
+               "CompilerService artifacts are bit-identical to direct "
+               "strategy compiles at 1/2/4/8 lanes");
+        expect(sv.hits > 0 && sv.misses > 0,
+               "service memo cache observed both misses (cold) and "
+               "hits (warm)");
+        expect(service_warm_speedup >= kServiceWarmMargin,
+               "warm (memoized) service batches beat cold ones by >= "
+               "the memo cache's expected margin");
         return failures == 0 ? 0 : 1;
     }
     return 0;

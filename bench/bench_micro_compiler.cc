@@ -10,6 +10,7 @@
 #include "circuits/registry.hh"
 #include "compiler/pipeline.hh"
 #include "ir/passes.hh"
+#include "service/compiler_service.hh"
 #include "strategies/strategy.hh"
 
 namespace {
@@ -61,6 +62,49 @@ BM_FullPipeline(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullPipeline)->Arg(10)->Arg(20)->Arg(40);
+
+/**
+ * The same pipeline behind the CompilerService front end with the memo
+ * cache defeated (cleared per iteration): measures the request/response
+ * overhead plus the context-pool win over BM_FullPipeline's cold
+ * contexts.
+ */
+void
+BM_ServiceColdRequest(benchmark::State &state)
+{
+    const Circuit c =
+        benchmarkFamily("cuccaro").make(static_cast<int>(state.range(0)));
+    const Topology topo = Topology::grid(c.numQubits());
+    CompilerService service;
+    const CompileRequest req =
+        CompileRequest::forCircuit(c, topo, "eqm", CompilerConfig{}, kLib);
+    for (auto _ : state) {
+        service.setCacheCapacity(0); // drop memo, keep pooled contexts
+        service.setCacheCapacity(256);
+        auto res = service.compileSync(req);
+        benchmark::DoNotOptimize(res->metrics.totalEps);
+    }
+}
+BENCHMARK(BM_ServiceColdRequest)->Arg(10)->Arg(20)->Arg(40);
+
+/** Warm-path request throughput: every iteration is a memo-cache hit
+ *  returning the shared artifact. */
+void
+BM_ServiceWarmRequest(benchmark::State &state)
+{
+    const Circuit c =
+        benchmarkFamily("cuccaro").make(static_cast<int>(state.range(0)));
+    const Topology topo = Topology::grid(c.numQubits());
+    CompilerService service;
+    const CompileRequest req =
+        CompileRequest::forCircuit(c, topo, "eqm", CompilerConfig{}, kLib);
+    service.compileSync(req); // populate
+    for (auto _ : state) {
+        auto res = service.compileSync(req);
+        benchmark::DoNotOptimize(res->metrics.totalEps);
+    }
+}
+BENCHMARK(BM_ServiceWarmRequest)->Arg(10)->Arg(20)->Arg(40);
 
 void
 BM_StrategyChoosePairs(benchmark::State &state)

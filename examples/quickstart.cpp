@@ -1,15 +1,16 @@
 /**
  * @file
- * Quickstart: build a circuit, compile it for a mixed-radix ququart
- * device with the EQM strategy, inspect the result, and verify the
- * compiled program against the logical circuit on the statevector
- * simulator.
+ * Quickstart: build a circuit, compile it through the CompilerService
+ * front end for a mixed-radix ququart device with the EQM strategy,
+ * inspect the shared artifact, re-issue the request to see the memo
+ * cache serve it, and verify the compiled program against the logical
+ * circuit on the statevector simulator.
  */
 
 #include <cstdio>
 
+#include "service/compiler_service.hh"
 #include "sim/equivalence.hh"
-#include "strategies/strategy.hh"
 
 using namespace qompress;
 
@@ -27,36 +28,52 @@ main()
     const Topology device = Topology::grid(circuit.numQubits());
     const GateLibrary calibration;
 
-    // 3. Compile with Extended Qubit Mapping (compressions emerge from
+    // 3. A compiler service: the request/response front end. One
+    //    long-lived service memoizes compiled artifacts and keeps
+    //    warmed compile contexts across requests.
+    CompilerService service;
+
+    // 4. Compile with Extended Qubit Mapping (compressions emerge from
     //    placement on the expanded qubit/ququart graph).
-    const auto strategy = makeStrategy("eqm");
-    const CompileResult result =
-        strategy->compile(circuit, device, calibration);
+    const CompileRequest request = CompileRequest::forCircuit(
+        circuit, device, "eqm", CompilerConfig{}, calibration);
+    const CompileArtifact result = service.compileSync(request);
 
     std::printf("compiled '%s' onto %s\n", circuit.name().c_str(),
                 device.name().c_str());
     std::printf("  physical gates : %d (%d routing)\n",
-                result.metrics.numGates, result.metrics.numRoutingGates);
-    std::printf("  compressions   : %zu\n", result.compressions.size());
-    for (const auto &p : result.compressions)
+                result->metrics.numGates,
+                result->metrics.numRoutingGates);
+    std::printf("  compressions   : %zu\n", result->compressions.size());
+    for (const auto &p : result->compressions)
         std::printf("    q%d + q%d share one ququart\n", p.first,
                     p.second);
     std::printf("  duration       : %.0f ns\n",
-                result.metrics.durationNs);
-    std::printf("  gate EPS       : %.4f\n", result.metrics.gateEps);
+                result->metrics.durationNs);
+    std::printf("  gate EPS       : %.4f\n", result->metrics.gateEps);
     std::printf("  coherence EPS  : %.4f\n",
-                result.metrics.coherenceEps);
-    std::printf("  total EPS      : %.4f\n", result.metrics.totalEps);
+                result->metrics.coherenceEps);
+    std::printf("  total EPS      : %.4f\n", result->metrics.totalEps);
 
     std::printf("\nfirst physical gates:\n");
-    for (int i = 0; i < result.compiled.numGates() && i < 8; ++i)
-        std::printf("  %5.0f ns  %s\n", result.compiled.gates()[i].start,
-                    result.compiled.gates()[i].str().c_str());
+    for (int i = 0; i < result->compiled.numGates() && i < 8; ++i)
+        std::printf("  %5.0f ns  %s\n",
+                    result->compiled.gates()[i].start,
+                    result->compiled.gates()[i].str().c_str());
 
-    // 4. Verify the compiled program is functionally identical.
+    // 5. The same request again: served from the artifact cache (the
+    //    same shared immutable result, no recompilation).
+    const CompileArtifact again = service.compileSync(request);
+    const ServiceStats stats = service.stats();
+    std::printf("\nsecond request: %s (cache hits %llu / misses %llu)\n",
+                again.get() == result.get() ? "memoized" : "recompiled",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+
+    // 6. Verify the compiled program is functionally identical.
     const EquivalenceReport rep =
-        checkEquivalence(circuit, result.compiled, /*trials=*/3);
+        checkEquivalence(circuit, result->compiled, /*trials=*/3);
     std::printf("\nequivalence check: %s (max amplitude error %.2e)\n",
                 rep.ok ? "PASS" : rep.message.c_str(), rep.maxError);
-    return rep.ok ? 0 : 1;
+    return rep.ok && again.get() == result.get() ? 0 : 1;
 }

@@ -1,12 +1,10 @@
 #include "eval/sweep.hh"
 
-#include <optional>
 #include <set>
 
 #include "circuits/registry.hh"
 #include "common/error.hh"
-#include "common/thread_pool.hh"
-#include "strategies/strategy.hh"
+#include "service/compiler_service.hh"
 
 namespace qompress {
 
@@ -19,13 +17,6 @@ struct SweepInstance
     int requestedSize;
     Circuit circuit;
     Topology device;
-};
-
-/** One (instance, strategy) cell, indexing its output record slot. */
-struct SweepCell
-{
-    const SweepInstance *inst;
-    const std::string *strategy;
 };
 
 } // namespace
@@ -44,7 +35,7 @@ runSweep(const SweepSpec &spec)
     // original family-major, size-ascending order, applying the
     // min-size and snapped-size-dedup rules. Circuit generation is
     // cheap next to the compiles; doing it up front yields a flat,
-    // stable cell list the pool can fan out over.
+    // stable cell list the service can fan out over.
     std::vector<SweepInstance> instances;
     for (const auto &family_name : spec.families) {
         const auto &family = benchmarkFamily(family_name);
@@ -61,65 +52,59 @@ runSweep(const SweepSpec &spec)
         }
     }
 
-    // Phase 2: flatten to (instance x strategy) cells — the same
-    // iteration order the serial loop used — and compile each cell
-    // into its pre-sized record slot, so the output ordering is
-    // identical at every lane count.
-    std::vector<SweepCell> cells;
-    cells.reserve(instances.size() * spec.strategies.size());
-    for (const auto &inst : instances)
-        for (const auto &strategy_name : spec.strategies)
-            cells.push_back({&inst, &strategy_name});
-
-    std::vector<SweepRecord> records(cells.size());
-
-    // Per-lane state: one CompileContext per lane, rebuilt only when
-    // the lane moves to a cell with a different device (the expanded
-    // graph and cost model are per-topology). The cache invariant —
-    // caching never changes what a compile emits — keeps records
-    // independent of how cells partition across lanes.
-    struct LaneState
+    // Phase 2: flatten to (instance x strategy) cells in the same
+    // iteration order the serial loop used, and push the whole grid
+    // through a sweep-local CompilerService batch. The service's
+    // context pool plays the old per-lane-context role, but keyed by
+    // content instead of lane: any cell over the same device/library/
+    // config pricing reuses warmed distance fields, whichever lane
+    // compiles it. Handles come back in request order, so records are
+    // bit-identical at every lane count (and, by the cache invariant,
+    // at every cache configuration).
+    std::vector<CompileRequest> reqs;
+    struct CellRef
     {
-        const Topology *device = nullptr;
-        std::optional<CompileContext> ctx;
+        const SweepInstance *inst;
+        const std::string *strategy;
     };
+    std::vector<CellRef> cells;
+    reqs.reserve(instances.size() * spec.strategies.size());
+    cells.reserve(reqs.capacity());
+    for (const auto &inst : instances) {
+        for (const auto &strategy_name : spec.strategies) {
+            reqs.push_back(CompileRequest::forCircuit(
+                inst.circuit, inst.device, strategy_name, spec.config,
+                spec.library));
+            cells.push_back({&inst, &strategy_name});
+        }
+    }
+
+    ServiceOptions sopts;
+    // A figure sweep has no duplicate cells, so cap the memo at the
+    // grid size (duplicate specs across repeated runSweep calls are
+    // the caller's to memoize with a longer-lived service).
+    sopts.cacheCapacity = reqs.size();
     const int want =
         spec.threads >= 0 ? spec.threads : spec.config.threads;
-    std::optional<ThreadPool> own_pool;
-    ThreadPool *pool = ThreadPool::forRequest(want, own_pool);
-    std::vector<LaneState> lanes(pool ? pool->numThreads() : 1);
+    CompilerService service(sopts);
+    auto handles = service.submitBatch(std::move(reqs), want);
 
-    auto compile_cell = [&](std::size_t i, int lane) {
-        const SweepCell &cell = cells[i];
-        LaneState &ls = lanes[static_cast<std::size_t>(lane)];
-        if (ls.device != &cell.inst->device) {
-            ls.ctx.emplace(cell.inst->device, spec.library, spec.config);
-            ls.device = &cell.inst->device;
-        }
+    std::vector<SweepRecord> records(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
         SweepRecord rec;
-        rec.family = *cell.inst->family;
-        rec.strategy = *cell.strategy;
-        rec.requestedSize = cell.inst->requestedSize;
+        rec.family = *cells[i].inst->family;
+        rec.strategy = *cells[i].strategy;
+        rec.requestedSize = cells[i].inst->requestedSize;
         try {
-            const auto res =
-                makeStrategy(*cell.strategy)
-                    ->compile(cell.inst->circuit, cell.inst->device,
-                              spec.library, spec.config, &*ls.ctx);
-            rec.qubits = cell.inst->circuit.numQubits();
-            rec.metrics = res.metrics;
+            const CompileArtifact res = handles[i].get();
+            rec.qubits = cells[i].inst->circuit.numQubits();
+            rec.metrics = res->metrics;
             rec.numCompressions =
-                static_cast<int>(res.compressions.size());
+                static_cast<int>(res->compressions.size());
         } catch (const FatalError &) {
             rec.qubits = 0; // did not fit
         }
         records[i] = std::move(rec);
-    };
-
-    if (pool) {
-        pool->parallelFor(0, cells.size(), compile_cell);
-    } else {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            compile_cell(i, 0);
     }
     return records;
 }

@@ -54,12 +54,16 @@ struct SweepSpec
  * family are deduplicated, and strategies that cannot fit a circuit
  * are skipped (recorded with qubits = 0).
  *
- * Cells fan out across spec.threads pool lanes, one CompileContext
- * per lane, each record written into its pre-sized slot — output
- * ordering and contents are identical at every lane count. Compiles
- * running inside the sweep are on pool workers, so a strategy's own
- * fan-out (ec, portfolio) degrades to inline execution rather than
- * oversubscribing the pool.
+ * The cell grid is submitted as one CompilerService batch over
+ * spec.threads lanes; the service's context pool reuses warmed
+ * distance fields across cells with the same device/library/config
+ * pricing, and handles come back in request order — output ordering
+ * and contents are identical at every lane count. Compiles running
+ * inside the sweep are on pool workers, so a strategy's own fan-out
+ * (ec, portfolio) degrades to inline execution rather than
+ * oversubscribing the pool. runSweep is therefore a thin shim over
+ * CompilerService; callers wanting cross-sweep artifact memoization
+ * should drive a longer-lived service directly.
  */
 std::vector<SweepRecord> runSweep(const SweepSpec &spec);
 

@@ -1,0 +1,22 @@
+#include "ir/fingerprint.hh"
+
+namespace qompress {
+
+std::uint64_t
+circuitFingerprint(const Circuit &c)
+{
+    Fingerprinter fp;
+    fp.mixI32(c.numQubits());
+    fp.mixString(c.name());
+    fp.mixU64(static_cast<std::uint64_t>(c.numGates()));
+    for (const Gate &g : c.gates()) {
+        fp.mixI32(static_cast<std::int32_t>(g.type));
+        fp.mixI32(g.arity());
+        for (QubitId q : g.qubits)
+            fp.mixI32(q);
+        fp.mixDouble(g.param);
+    }
+    return fp.value();
+}
+
+} // namespace qompress

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Canonical content fingerprints for circuits (and the byte-hasher the
+ * other layers build their own fingerprints from).
+ *
+ * The fingerprint is the identity the service layer memoizes compiled
+ * artifacts under: two Circuit objects with the same fingerprint are
+ * guaranteed to compile to bit-identical CompileResults (for equal
+ * topology/library/config/strategy), because the fingerprint covers
+ * every input the pipeline reads -- qubit count, name (the compiled
+ * artifact embeds it), and the exact gate sequence with operand ids
+ * and raw parameter bits.
+ */
+
+#ifndef QOMPRESS_IR_FINGERPRINT_HH
+#define QOMPRESS_IR_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "ir/circuit.hh"
+
+namespace qompress {
+
+/**
+ * Incremental FNV-1a 64-bit hasher.
+ *
+ * Deliberately simple and dependency-free. Note the service's memo
+ * cache uses these 64-bit values AS the identity of each request
+ * component (circuit, topology, library, config) — a cross-component
+ * key is four independent 64-bit fingerprints plus the verbatim
+ * strategy name, so serving a wrong artifact requires two distinct
+ * values of ONE component to collide at 64 bits: vanishingly unlikely
+ * for the non-adversarial inputs this toolchain compiles, and
+ * sanity-swept by the registry collision test, but not a
+ * cryptographic guarantee. Field order is significant (mix a length
+ * before variable-length runs).
+ */
+class Fingerprinter
+{
+  public:
+    void mixBytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    void mixU64(std::uint64_t v) { mixBytes(&v, sizeof v); }
+    void mixI32(std::int32_t v) { mixBytes(&v, sizeof v); }
+
+    /** Raw IEEE-754 bits: any representational change (including the
+     *  sign of zero) changes the fingerprint. */
+    void mixDouble(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        mixU64(bits);
+    }
+
+    void mixString(const std::string &s)
+    {
+        mixU64(s.size());
+        mixBytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ull; // FNV-1a offset basis
+};
+
+/**
+ * Canonical fingerprint of a circuit's compile-relevant content.
+ *
+ * Covers numQubits, the name, and every gate's (type, operands, raw
+ * param bits) in program order. Stable across rebuilds and re-parses
+ * that reproduce the same content (note: Circuit::toQasm prints
+ * parameters at %.12g, so a dump/parse round trip is only
+ * fingerprint-stable for parameters that survive that precision);
+ * sensitive to any gate, operand, parameter, name, or width change.
+ */
+std::uint64_t circuitFingerprint(const Circuit &c);
+
+} // namespace qompress
+
+#endif // QOMPRESS_IR_FINGERPRINT_HH

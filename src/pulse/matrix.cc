@@ -251,6 +251,15 @@ daggerInto(CMatrix &out, const CMatrix &a)
 void
 expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws)
 {
+    // The direction-free case of the Padé-13 family exponential: with
+    // no derivative directions the augmented-matrix machinery reduces
+    // to Higham's plain expm, sharing its kernel and workspace.
+    expmFamilyInto(out, ws.noDs, a, {}, ws.fam);
+}
+
+void
+expmIntoTaylor(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws)
+{
     QPANIC_IF(a.rows() != a.cols(), "expm of non-square matrix");
     const int n = a.rows();
     // Scale so the Taylor series converges fast, then square back.

@@ -91,9 +91,9 @@ class CMatrix
 };
 
 /**
- * Matrix exponential by scaling-and-squaring with a Taylor series
- * (ample accuracy for the small anti-Hermitian arguments produced by
- * Schrodinger propagation).
+ * Matrix exponential by Padé-13 scaling-and-squaring (the same kernel
+ * expmFamilyInto uses; see expmInto). Allocates its own workspace;
+ * hot loops should hold an ExpmWorkspace and call expmInto instead.
  */
 CMatrix expm(const CMatrix &a);
 
@@ -108,18 +108,6 @@ void scaleInto(CMatrix &out, CMatrix::Scalar s, const CMatrix &a);
 
 /** out = a^dagger. @p out must not alias @p a. */
 void daggerInto(CMatrix &out, const CMatrix &a);
-
-/** Caller-owned scratch for expmInto. */
-struct ExpmWorkspace
-{
-    CMatrix scaled;
-    CMatrix term;
-    CMatrix tmp;
-};
-
-/** out = expm(a); identical math to expm() but all temporaries live in
- *  @p ws, so repeated calls perform no heap allocation. */
-void expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws);
 
 /**
  * Dense LU factorization with partial pivoting, built for repeated
@@ -199,6 +187,35 @@ void expmFamilyIntoTaylor(CMatrix &eA, std::vector<CMatrix> &ds,
                           const CMatrix &a,
                           const std::vector<CMatrix> &bs,
                           ExpmFamilyWorkspace &ws);
+
+/** Caller-owned scratch for expmInto / expmIntoTaylor. */
+struct ExpmWorkspace
+{
+    /** Padé-13 blocks (the direction-free expmFamilyInto path). */
+    ExpmFamilyWorkspace fam;
+    std::vector<CMatrix> noDs; ///< stays empty: no derivative directions
+    /** Taylor scratch (expmIntoTaylor). */
+    CMatrix scaled;
+    CMatrix term;
+    CMatrix tmp;
+};
+
+/**
+ * out = expm(a) with all temporaries in @p ws (no heap allocation
+ * once warm).
+ *
+ * This is the Padé-13 scaling-and-squaring kernel — the
+ * direction-free case of expmFamilyInto, so the naive reference paths
+ * (GRAPE's Van Loan reference, propagators(), traceEvolution) ride
+ * the same production exponential. The pre-Padé Taylor form is
+ * retained as expmIntoTaylor for differential tests; both agree to
+ * ~1e-13 on pulse workloads.
+ */
+void expmInto(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws);
+
+/** Taylor scaling-and-squaring reference form of expmInto (the
+ *  pre-Padé implementation). Identical contract. */
+void expmIntoTaylor(CMatrix &out, const CMatrix &a, ExpmWorkspace &ws);
 
 } // namespace qompress
 

@@ -1,0 +1,409 @@
+#include "service/compiler_service.hh"
+
+#include <algorithm>
+
+#include "circuits/registry.hh"
+#include "common/error.hh"
+#include "ir/fingerprint.hh"
+
+namespace qompress {
+
+// ------------------------------------------------------------------
+// Component fingerprints
+// ------------------------------------------------------------------
+
+std::uint64_t
+topologyFingerprint(const Topology &topo)
+{
+    Fingerprinter f;
+    f.mixString(topo.name());
+    f.mixI32(topo.numUnits());
+    // Canonical edge order: the same coupling graph built by a
+    // different insertion order must fingerprint identically.
+    auto edges = topo.graph().edges();
+    std::sort(edges.begin(), edges.end(),
+              [](const Graph::EdgeRef &a, const Graph::EdgeRef &b) {
+                  return a.u != b.u ? a.u < b.u : a.v < b.v;
+              });
+    f.mixU64(edges.size());
+    for (const auto &e : edges) {
+        f.mixI32(e.u);
+        f.mixI32(e.v);
+        f.mixDouble(e.w);
+    }
+    return f.value();
+}
+
+std::uint64_t
+libraryFingerprint(const GateLibrary &lib)
+{
+    Fingerprinter f;
+    const int n = static_cast<int>(PhysGateClass::NumClasses);
+    f.mixI32(n);
+    for (int c = 0; c < n; ++c) {
+        const auto cls = static_cast<PhysGateClass>(c);
+        f.mixDouble(lib.duration(cls));
+        f.mixDouble(lib.fidelity(cls));
+    }
+    f.mixDouble(lib.t1Qubit());
+    f.mixDouble(lib.t1Ququart());
+    return f.value();
+}
+
+std::uint64_t
+configFingerprint(const CompilerConfig &cfg)
+{
+    Fingerprinter f;
+    f.mixI32(cfg.chargeInitialEnc ? 1 : 0);
+    f.mixDouble(cfg.throughQuquartPenalty);
+    f.mixDouble(cfg.lookaheadWeight);
+    f.mixI32(cfg.useDistanceCache ? 1 : 0);
+    f.mixI32(cfg.validate ? 1 : 0);
+    // cfg.threads deliberately excluded: results are lane-invariant,
+    // so requests differing only in lane count share one artifact.
+    return f.value();
+}
+
+// ------------------------------------------------------------------
+// CompileRequest
+// ------------------------------------------------------------------
+
+CompileRequest
+CompileRequest::forCircuit(Circuit c, Topology topo, std::string strategy,
+                           CompilerConfig cfg, GateLibrary lib)
+{
+    CompileRequest req{std::move(topo), std::move(strategy),
+                       std::move(lib), cfg, std::move(c), "", 0};
+    return req;
+}
+
+CompileRequest
+CompileRequest::forFamily(std::string family, int size, Topology topo,
+                          std::string strategy, CompilerConfig cfg,
+                          GateLibrary lib)
+{
+    CompileRequest req{std::move(topo), std::move(strategy),
+                       std::move(lib), cfg, std::nullopt,
+                       std::move(family), size};
+    return req;
+}
+
+Circuit
+CompileRequest::resolveCircuit() const
+{
+    if (circuit)
+        return *circuit;
+    QFATAL_IF(family.empty(),
+              "compile request names neither a circuit nor a registry "
+              "family");
+    return benchmarkFamily(family).make(size);
+}
+
+// ------------------------------------------------------------------
+// CompileHandle
+// ------------------------------------------------------------------
+
+CompileArtifact
+CompileHandle::get() const
+{
+    QPANIC_IF(!fut_.valid(), "get() on an empty CompileHandle");
+    return fut_.get();
+}
+
+// ------------------------------------------------------------------
+// CompilerService
+// ------------------------------------------------------------------
+
+std::size_t
+CompilerService::RequestKeyHash::operator()(const RequestKey &k) const
+{
+    Fingerprinter f;
+    f.mixU64(k.circuit);
+    f.mixU64(k.topo);
+    f.mixU64(k.lib);
+    f.mixU64(k.cfg);
+    f.mixString(k.strategy);
+    return static_cast<std::size_t>(f.value());
+}
+
+CompilerService::CompilerService(ServiceOptions opts) : opts_(opts) {}
+
+CompilerService::~CompilerService()
+{
+    // Submitted tasks capture `this` and may be queued on the process
+    // global pool, which outlives the service; block until every one
+    // has run before members are torn down. (Service-owned pools_
+    // would drain their tasks on join anyway; the global pool is the
+    // case this wait exists for.)
+    std::unique_lock<std::mutex> lk(pendingMu_);
+    pendingCv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+CompileArtifact
+CompilerService::compileSync(const CompileRequest &req)
+{
+    return compileImpl(req);
+}
+
+CompileHandle
+CompilerService::submit(CompileRequest req)
+{
+    return submitOn(poolFor(-1), std::move(req));
+}
+
+std::vector<CompileHandle>
+CompilerService::submitBatch(std::vector<CompileRequest> reqs, int threads)
+{
+    ThreadPool *pool = poolFor(threads);
+    std::vector<CompileHandle> handles;
+    handles.reserve(reqs.size());
+    for (auto &req : reqs)
+        handles.push_back(submitOn(pool, std::move(req)));
+    return handles;
+}
+
+CompileHandle
+CompilerService::submitOn(ThreadPool *pool, CompileRequest req)
+{
+    if (!pool) {
+        // Serial (or worker-nested) submission: run now, but still
+        // deliver failure through the handle so sync and async callers
+        // observe exceptions the same way.
+        std::promise<CompileArtifact> prom;
+        try {
+            prom.set_value(compileImpl(req));
+        } catch (...) {
+            prom.set_exception(std::current_exception());
+        }
+        return CompileHandle(prom.get_future().share());
+    }
+    {
+        std::lock_guard<std::mutex> lk(pendingMu_);
+        ++pending_;
+    }
+    auto task = [this, r = std::move(req)]() -> CompileArtifact {
+        // Count down whether the compile returns or throws, so the
+        // destructor's drain-wait can never hang.
+        struct Done
+        {
+            CompilerService *svc;
+            ~Done()
+            {
+                std::lock_guard<std::mutex> lk(svc->pendingMu_);
+                --svc->pending_;
+                svc->pendingCv_.notify_all();
+            }
+        } done{this};
+        return compileImpl(r);
+    };
+    return CompileHandle(pool->submit(std::move(task)).share());
+}
+
+ThreadPool *
+CompilerService::poolFor(int threads)
+{
+    int want = threads >= 0 ? threads : opts_.threads;
+    if (want <= 0)
+        want = ThreadPool::defaultThreadCount();
+    // Nested submission (a compile that itself talks to the service)
+    // degrades to inline execution, mirroring ThreadPool::forRequest:
+    // a worker blocking on the queue it drains would deadlock.
+    if (want <= 1 || ThreadPool::onWorkerThread())
+        return nullptr;
+    if (want == ThreadPool::defaultThreadCount())
+        return &ThreadPool::global();
+    std::lock_guard<std::mutex> lk(poolMu_);
+    auto &slot = pools_[want];
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(want);
+    return slot.get();
+}
+
+CompileArtifact
+CompilerService::compileImpl(const CompileRequest &req)
+{
+    // Resolve the circuit first: the memo key hashes its content.
+    std::optional<Circuit> resolved;
+    const Circuit *circuit = nullptr;
+    if (req.circuit) {
+        circuit = &*req.circuit;
+    } else {
+        resolved.emplace(req.resolveCircuit());
+        circuit = &*resolved;
+    }
+
+    RequestKey key;
+    key.circuit = circuitFingerprint(*circuit);
+    key.topo = topologyFingerprint(req.topology);
+    key.lib = libraryFingerprint(req.library);
+    key.cfg = configFingerprint(req.config);
+    key.strategy = req.strategy;
+    Fingerprinter cf;
+    cf.mixU64(key.topo);
+    cf.mixU64(key.lib);
+    cf.mixU64(key.cfg);
+    const std::uint64_t ctx_fp = cf.value();
+
+    std::promise<CompileArtifact> prom;
+    std::shared_future<CompileArtifact> wait_on;
+    bool memo = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++requests_;
+        memo = opts_.cacheCapacity > 0;
+        if (memo) {
+            auto it = index_.find(key);
+            if (it != index_.end()) {
+                ++hits_;
+                lru_.splice(lru_.begin(), lru_, it->second);
+                return it->second->second;
+            }
+            auto jt = inflight_.find(key);
+            if (jt != inflight_.end()) {
+                // An identical compile is already running; wait for it
+                // (outside the lock) instead of compiling twice.
+                ++coalesced_;
+                wait_on = jt->second;
+            } else {
+                inflight_.emplace(key, prom.get_future().share());
+                ++misses_;
+            }
+        } else {
+            ++misses_;
+        }
+    }
+    if (wait_on.valid())
+        return wait_on.get(); // rethrows the owner's exception
+
+    CompileArtifact artifact;
+    try {
+        artifact = compileUncached(req, *circuit, ctx_fp);
+    } catch (...) {
+        if (memo) {
+            std::lock_guard<std::mutex> lk(mu_);
+            prom.set_exception(std::current_exception());
+            inflight_.erase(key);
+        }
+        throw;
+    }
+    if (memo) {
+        std::lock_guard<std::mutex> lk(mu_);
+        lru_.emplace_front(key, artifact);
+        index_[key] = lru_.begin();
+        evictOverCapacityLocked();
+        prom.set_value(artifact);
+        inflight_.erase(key);
+    }
+    return artifact;
+}
+
+CompileArtifact
+CompilerService::compileUncached(const CompileRequest &req,
+                                 const Circuit &circuit,
+                                 std::uint64_t ctx_fp)
+{
+    // makeStrategy first: an unknown name must fail before a context
+    // is built for it.
+    const auto strategy = makeStrategy(req.strategy);
+    auto pc = acquireContext(req, ctx_fp);
+    // The compile runs against the pooled copies (the context holds
+    // pointers into them) but the *caller's* config, so per-request
+    // knobs the context does not price (threads) are honored. The two
+    // configs agree on every pricing field by construction of ctx_fp.
+    CompileResult res = strategy->compile(circuit, pc->topo, pc->lib,
+                                          req.config, &*pc->ctx);
+    // Pool the context (with its warmed distance fields) only on
+    // success; a compile that threw may leave it mid-mutation.
+    releaseContext(std::move(pc));
+    return std::make_shared<const CompileResult>(std::move(res));
+}
+
+std::unique_ptr<CompilerService::PooledContext>
+CompilerService::acquireContext(const CompileRequest &req,
+                                std::uint64_t ctx_fp)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto it = idle_.rbegin(); it != idle_.rend(); ++it) {
+            // Matching is by the 64-bit pricing fingerprint; the
+            // structural conjuncts below catch the topology-shape
+            // slice of a collision cheaply but do NOT cover library
+            // or config content — those rest on the fingerprint alone
+            // (see the Fingerprinter doc for the accepted trade).
+            if ((*it)->fp == ctx_fp &&
+                (*it)->topo.numUnits() == req.topology.numUnits() &&
+                (*it)->topo.name() == req.topology.name()) {
+                auto pc = std::move(*it);
+                idle_.erase(std::next(it).base());
+                ++contextsReused_;
+                return pc;
+            }
+        }
+        ++contextsCreated_;
+    }
+    // Build outside the lock: graph expansion is the expensive part.
+    return std::make_unique<PooledContext>(ctx_fp, req.topology,
+                                           req.library, req.config);
+}
+
+void
+CompilerService::releaseContext(std::unique_ptr<PooledContext> pc)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (opts_.contextPoolCapacity == 0)
+        return; // pooling disabled: drop (context dies here)
+    idle_.push_back(std::move(pc));
+    while (idle_.size() > opts_.contextPoolCapacity)
+        idle_.erase(idle_.begin()); // oldest idle context retires
+}
+
+void
+CompilerService::evictOverCapacityLocked()
+{
+    while (lru_.size() > opts_.cacheCapacity) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+ServiceStats
+CompilerService::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats s;
+    s.requests = requests_;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.coalesced = coalesced_;
+    s.evictions = evictions_;
+    s.cacheSize = lru_.size();
+    s.cacheCapacity = opts_.cacheCapacity;
+    s.contextsCreated = contextsCreated_;
+    s.contextsReused = contextsReused_;
+    s.pooledContexts = idle_.size();
+    return s;
+}
+
+void
+CompilerService::clearCache()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    lru_.clear();
+    index_.clear();
+    idle_.clear();
+    // In-flight compiles keep their local promises; entries left in
+    // inflight_ are owned by running compiles and expire when they
+    // finish. Artifacts already handed out stay alive through their
+    // shared_ptrs.
+}
+
+void
+CompilerService::setCacheCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    opts_.cacheCapacity = capacity;
+    evictOverCapacityLocked();
+}
+
+} // namespace qompress

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The request/response front end of the toolchain.
+ *
+ * Everything below this layer is a library of free functions and
+ * per-strategy calls that each caller wires up by hand; CompilerService
+ * packages them behind one stable, session-oriented API a high-traffic
+ * deployment can sit behind:
+ *
+ *  - CompileRequest: circuit (explicit or by registry family name) +
+ *    topology + strategy name + CompilerConfig + GateLibrary, all by
+ *    value so requests are self-contained and content-addressable.
+ *  - compileSync() / submit() / submitBatch(): synchronous and
+ *    future-based asynchronous entry points over the shared ThreadPool.
+ *  - An artifact memo cache: an LRU keyed by canonical content
+ *    fingerprints (circuit x topology x library x config x strategy)
+ *    returning shared immutable CompileResults, with hit/miss/eviction
+ *    counters and a capacity knob. Identical requests -- the dominant
+ *    pattern in evaluation grids, which re-compile the same
+ *    circuit x topology x strategy cells over and over -- are served
+ *    without recompiling.
+ *  - A context pool: reusable CompileContexts keyed by the
+ *    topology/library/config fingerprint, so distance fields warmed by
+ *    one request survive into the next (across requests, not just
+ *    within one compile as before).
+ *
+ * Invariant: a service compile is bit-identical to a direct
+ * CompressionStrategy::compile of the same inputs, at every thread
+ * count and cache configuration. This follows from two properties the
+ * lower layers already pin: compiles are deterministic functions of
+ * their inputs (so a memoized artifact equals a fresh compile), and
+ * distance-field caching never changes what a compile emits (so a
+ * pooled, pre-warmed context equals a cold one). tests/test_service.cc
+ * asserts the composition.
+ *
+ * Thread-safety: all public methods are safe to call concurrently.
+ * Compiles run outside the service lock; each gets a private
+ * CompileContext from the pool (contexts are single-writer).
+ */
+
+#ifndef QOMPRESS_SERVICE_COMPILER_SERVICE_HH
+#define QOMPRESS_SERVICE_COMPILER_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "compiler/pipeline.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+
+/** @name Component fingerprints
+ * Content hashes of the non-circuit compile inputs (the circuit hash
+ * is ir/fingerprint.hh's circuitFingerprint). Two values are equal
+ * exactly when the components are compile-equivalent. @{ */
+
+/** Name, unit count, and the sorted weighted edge list. */
+std::uint64_t topologyFingerprint(const Topology &topo);
+
+/** Every per-class duration and fidelity plus both T1 times. */
+std::uint64_t libraryFingerprint(const GateLibrary &lib);
+
+/**
+ * Every CompilerConfig field EXCEPT threads: compile results are
+ * lane-count invariant (pinned by test_threads and bench_hotpaths
+ * --check), so requests differing only in lane count share artifacts
+ * and contexts.
+ */
+std::uint64_t configFingerprint(const CompilerConfig &cfg);
+/** @} */
+
+/**
+ * One self-contained compile request.
+ *
+ * The circuit is either explicit (@ref circuit) or named by registry
+ * family + size (resolved via circuits/registry.hh). Topology and
+ * library travel by value: the service keys its caches on content, so
+ * callers need not keep request inputs alive, and mutating a
+ * GateLibrary between requests can never poison a cached artifact.
+ */
+struct CompileRequest
+{
+    Topology topology;
+    std::string strategy = "eqm";
+    GateLibrary library;
+    CompilerConfig config;
+
+    /** Explicit program; when unset, family/size pick a registry
+     *  circuit. */
+    std::optional<Circuit> circuit;
+    std::string family; ///< registry family name (see circuits/registry.hh)
+    int size = 0;       ///< registry qubit budget
+
+    /** Request for an explicit circuit. */
+    static CompileRequest forCircuit(Circuit c, Topology topo,
+                                     std::string strategy,
+                                     CompilerConfig cfg = {},
+                                     GateLibrary lib = {});
+
+    /** Request for a registry circuit ("bv", "qaoa_random", ...). */
+    static CompileRequest forFamily(std::string family, int size,
+                                    Topology topo, std::string strategy,
+                                    CompilerConfig cfg = {},
+                                    GateLibrary lib = {});
+
+    /** The circuit this request compiles (registry lookup may throw
+     *  FatalError on an unknown family). */
+    Circuit resolveCircuit() const;
+};
+
+/** Shared immutable compiled artifact. */
+using CompileArtifact = std::shared_ptr<const CompileResult>;
+
+/**
+ * Future-based handle to one submitted request.
+ *
+ * Copyable (shared future). get() blocks until the compile finishes
+ * and either returns the artifact or rethrows the compile's exception
+ * (FatalError for circuits a strategy cannot fit, unknown strategy or
+ * family names, ...). Handles become ready no later than the owning
+ * service's destruction.
+ */
+class CompileHandle
+{
+  public:
+    CompileHandle() = default;
+
+    /** Blocks; the artifact or the compile's exception. */
+    CompileArtifact get() const;
+
+    bool valid() const { return fut_.valid(); }
+
+  private:
+    friend class CompilerService;
+    explicit CompileHandle(std::shared_future<CompileArtifact> fut)
+        : fut_(std::move(fut))
+    {
+    }
+
+    std::shared_future<CompileArtifact> fut_;
+};
+
+/** Service construction knobs. */
+struct ServiceOptions
+{
+    /** Artifact memo LRU capacity in entries; 0 disables memoization
+     *  (every request compiles). */
+    std::size_t cacheCapacity = 256;
+
+    /** Max idle CompileContexts kept warm across requests; 0 disables
+     *  pooling (every compile builds a cold context). */
+    std::size_t contextPoolCapacity = 8;
+
+    /**
+     * Default lanes for submit()/submitBatch() request fan-out, in the
+     * CompilerConfig::threads convention (0 = process default, 1 =
+     * serial/inline, N = exactly N lanes). Results are identical at
+     * every setting; only latency changes.
+     */
+    int threads = 0;
+};
+
+/** Observable service state (one consistent snapshot). */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;    ///< total requests processed
+    std::uint64_t hits = 0;        ///< artifacts served from the memo cache
+    std::uint64_t misses = 0;      ///< requests that ran a compile
+    std::uint64_t coalesced = 0;   ///< waited on an identical in-flight compile
+    std::uint64_t evictions = 0;   ///< LRU entries dropped over capacity
+    std::size_t cacheSize = 0;     ///< resident memo entries
+    std::size_t cacheCapacity = 0; ///< current capacity knob
+    std::uint64_t contextsCreated = 0; ///< cold CompileContext builds
+    std::uint64_t contextsReused = 0;  ///< warm contexts served from the pool
+    std::size_t pooledContexts = 0;    ///< idle contexts currently pooled
+};
+
+/** See the file comment. */
+class CompilerService
+{
+  public:
+    explicit CompilerService(ServiceOptions opts = {});
+    ~CompilerService();
+
+    CompilerService(const CompilerService &) = delete;
+    CompilerService &operator=(const CompilerService &) = delete;
+
+    /**
+     * Compile now, on the calling thread. Returns the shared artifact
+     * (possibly memoized). Throws what the compile throws.
+     */
+    CompileArtifact compileSync(const CompileRequest &req);
+
+    /**
+     * Enqueue one request on the service's lanes; returns immediately
+     * (when lanes exist) with a handle. Requests submitted from a pool
+     * worker, or when the service is serial, run inline and return a
+     * ready handle.
+     */
+    CompileHandle submit(CompileRequest req);
+
+    /**
+     * Submit a batch; handles are returned in request order.
+     *
+     * @param threads per-batch lane override: -1 (default) inherits
+     *        ServiceOptions::threads, otherwise the
+     *        CompilerConfig::threads convention. Handle results are
+     *        bit-identical at every setting.
+     */
+    std::vector<CompileHandle> submitBatch(std::vector<CompileRequest> reqs,
+                                           int threads = -1);
+
+    ServiceStats stats() const;
+
+    /** Drop all memoized artifacts and pooled contexts (counters are
+     *  retained). */
+    void clearCache();
+
+    /** Change the memo capacity; shrinking evicts LRU entries now. */
+    void setCacheCapacity(std::size_t capacity);
+
+  private:
+    /** Memo-cache key: one 64-bit content fingerprint per component
+     *  plus the verbatim strategy name. Equality compares the
+     *  fingerprints, not the underlying content — a wrong-artifact
+     *  serve therefore requires a single-component 64-bit collision
+     *  (see the Fingerprinter doc for why that trade is accepted). */
+    struct RequestKey
+    {
+        std::uint64_t circuit = 0;
+        std::uint64_t topo = 0;
+        std::uint64_t lib = 0;
+        std::uint64_t cfg = 0;
+        std::string strategy;
+
+        bool operator==(const RequestKey &o) const
+        {
+            return circuit == o.circuit && topo == o.topo &&
+                   lib == o.lib && cfg == o.cfg &&
+                   strategy == o.strategy;
+        }
+    };
+
+    struct RequestKeyHash
+    {
+        std::size_t operator()(const RequestKey &k) const;
+    };
+
+    /**
+     * One pooled compile context. Owns copies of the inputs the
+     * CompileContext references (CostModel and ExpandedGraph hold
+     * pointers into them), so a pooled context is self-contained and
+     * can outlive every request that used it.
+     */
+    struct PooledContext
+    {
+        std::uint64_t fp; ///< topo ^ lib ^ cfg pricing fingerprint
+        Topology topo;
+        GateLibrary lib;
+        CompilerConfig cfg;
+        std::optional<CompileContext> ctx;
+
+        PooledContext(std::uint64_t fp_, const Topology &t,
+                      const GateLibrary &l, const CompilerConfig &c)
+            : fp(fp_), topo(t), lib(l), cfg(c)
+        {
+            ctx.emplace(topo, lib, cfg);
+        }
+    };
+
+    using LruEntry = std::pair<RequestKey, CompileArtifact>;
+
+    CompileArtifact compileImpl(const CompileRequest &req);
+    CompileArtifact compileUncached(const CompileRequest &req,
+                                    const Circuit &circuit,
+                                    std::uint64_t ctx_fp);
+    CompileHandle submitOn(ThreadPool *pool, CompileRequest req);
+    std::unique_ptr<PooledContext> acquireContext(const CompileRequest &req,
+                                                  std::uint64_t ctx_fp);
+    void releaseContext(std::unique_ptr<PooledContext> pc);
+    void evictOverCapacityLocked();
+
+    /** Lanes -> pool: nullptr means run inline. Pools are created on
+     *  demand, owned by the service, and joined at destruction (which
+     *  is what guarantees every handle is ready by then). */
+    ThreadPool *poolFor(int threads);
+
+    ServiceOptions opts_;
+
+    mutable std::mutex mu_; ///< guards cache, context pool, counters
+    std::list<LruEntry> lru_; ///< front = most recently used
+    std::unordered_map<RequestKey, std::list<LruEntry>::iterator,
+                       RequestKeyHash>
+        index_;
+    std::unordered_map<RequestKey, std::shared_future<CompileArtifact>,
+                       RequestKeyHash>
+        inflight_;
+    std::vector<std::unique_ptr<PooledContext>> idle_;
+
+    std::uint64_t requests_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t coalesced_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t contextsCreated_ = 0;
+    std::uint64_t contextsReused_ = 0;
+
+    std::mutex poolMu_; ///< guards pools_ (never held with mu_)
+    std::map<int, std::unique_ptr<ThreadPool>> pools_;
+
+    /** Enqueued-but-unfinished submits. Tasks may run on the process
+     *  global pool (which the service does not own), so the
+     *  destructor blocks until this drains — that is what makes the
+     *  "handles are ready by destruction" guarantee hold for every
+     *  pool a task can land on. */
+    std::mutex pendingMu_;
+    std::condition_variable pendingCv_;
+    std::size_t pending_ = 0;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_SERVICE_COMPILER_SERVICE_HH

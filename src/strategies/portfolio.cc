@@ -1,14 +1,28 @@
 #include "strategies/portfolio.hh"
 
-#include <optional>
-
 #include "common/error.hh"
-#include "common/thread_pool.hh"
 
 namespace qompress {
 
+namespace {
+
+ServiceOptions
+portfolioServiceOptions()
+{
+    ServiceOptions opts;
+    // Enough memo room for every member of a handful of recent
+    // distinct requests; the pool keeps one warm context per member's
+    // pricing configuration (they usually share one).
+    opts.cacheCapacity = 64;
+    opts.contextPoolCapacity = 8;
+    opts.threads = 0; // overridden per compile by cfg.threads
+    return opts;
+}
+
+} // namespace
+
 PortfolioStrategy::PortfolioStrategy(std::vector<std::string> names)
-    : names_(std::move(names))
+    : names_(std::move(names)), service_(portfolioServiceOptions())
 {
     QFATAL_IF(names_.empty(), "portfolio needs at least one member");
 }
@@ -19,50 +33,45 @@ PortfolioStrategy::compile(const Circuit &circuit, const Topology &topo,
                            const CompilerConfig &cfg,
                            CompileContext *ctx) const
 {
-    // Members each build their own context: contexts are single-writer
-    // and the members may run concurrently, so the caller's context
-    // (if any) cannot be shared out to them.
+    // The caller's context cannot be shared out to members (contexts
+    // are single-writer and members may run concurrently); members
+    // draw pooled contexts from the service instead.
     (void)ctx;
 
-    const std::size_t n = names_.size();
-    std::vector<std::optional<CompileResult>> results(n);
-    auto compile_member = [&](std::size_t i, int) {
-        try {
-            results[i] =
-                makeStrategy(names_[i])->compile(circuit, topo, lib, cfg);
-        } catch (const FatalError &) {
-            // A member may not fit (e.g. qubit-only over capacity);
-            // the portfolio simply skips it (slot stays empty).
-        }
-    };
-
-    std::optional<ThreadPool> own_pool;
-    if (ThreadPool *pool = ThreadPool::forRequest(cfg.threads, own_pool)) {
-        pool->parallelFor(0, n, compile_member);
-    } else {
-        for (std::size_t i = 0; i < n; ++i)
-            compile_member(i, 0);
-    }
+    std::vector<CompileRequest> reqs;
+    reqs.reserve(names_.size());
+    for (const auto &member : names_)
+        reqs.push_back(
+            CompileRequest::forCircuit(circuit, topo, member, cfg, lib));
+    auto handles = service_.submitBatch(std::move(reqs), cfg.threads);
 
     // Deterministic serial reduction in member order with the strict
     // ">" the serial loop used: ties keep the earliest member, and
     // lastWinner_ is written exactly once, by this (the calling)
-    // thread, after all lanes have joined.
-    CompileResult best;
+    // thread, after all members have finished. Artifacts are shared
+    // and immutable, so the scan only tracks the best one; the single
+    // copy into the returned result happens after the loop.
+    CompileArtifact best;
     const std::string *winner = nullptr;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!results[i])
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+        CompileArtifact artifact;
+        try {
+            artifact = handles[i].get();
+        } catch (const FatalError &) {
+            // A member may not fit (e.g. qubit-only over capacity);
+            // the portfolio simply skips it.
             continue;
+        }
         if (!winner ||
-            results[i]->metrics.totalEps > best.metrics.totalEps) {
-            best = std::move(*results[i]);
+            artifact->metrics.totalEps > best->metrics.totalEps) {
+            best = std::move(artifact);
             winner = &names_[i];
         }
     }
     QFATAL_IF(!winner, "no portfolio member could compile '",
               circuit.name(), "' on ", topo.name());
     lastWinner_ = *winner;
-    return best;
+    return *best;
 }
 
 } // namespace qompress

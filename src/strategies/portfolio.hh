@@ -5,20 +5,23 @@
  * a deployment would simply take the winner, which this class
  * packages behind the common interface.
  *
- * The member compiles are independent, so they fan out across the
- * thread pool (CompilerConfig::threads lanes) with the same
- * pre-sized-slots + serial-reduction pattern as the exhaustive
- * strategy: every member's result lands in its own slot, then the
- * winner is chosen in member order with the same strict comparison
- * the serial loop used — so the winner (and lastWinner()) is
- * identical at every lane count. Members that themselves want lanes
- * are safe: compiles running on a pool worker degrade their internal
- * fan-out to inline execution.
+ * The member compiles go through a private CompilerService: the
+ * service fans the batch across the thread pool (cfg.threads lanes),
+ * pools contexts so repeated compiles on one portfolio instance reuse
+ * warmed distance fields, and memoizes member artifacts so recompiling
+ * the same circuit (parameter studies, repeated queries) serves cached
+ * results. The winner is still chosen by a serial reduction in member
+ * order with the same strict comparison the serial loop used — so the
+ * winner (and lastWinner()) is identical at every lane count and
+ * cache configuration. Members that themselves want lanes are safe:
+ * compiles running on a pool worker degrade their internal fan-out to
+ * inline execution.
  */
 
 #ifndef QOMPRESS_STRATEGIES_PORTFOLIO_HH
 #define QOMPRESS_STRATEGIES_PORTFOLIO_HH
 
+#include "service/compiler_service.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
@@ -48,9 +51,16 @@ class PortfolioStrategy : public CompressionStrategy
      *  compile() calls on the same instance*. */
     const std::string &lastWinner() const { return lastWinner_; }
 
+    /** The member-compile service (cache counters for tests/benches). */
+    const CompilerService &service() const { return service_; }
+
   private:
     std::vector<std::string> names_;
     mutable std::string lastWinner_;
+    /** Member-compile front end; CompilerService is internally
+     *  thread-safe, so concurrent compiles on one instance only
+     *  contend on lastWinner_ (see above). */
+    mutable CompilerService service_;
 };
 
 } // namespace qompress

@@ -66,28 +66,83 @@ standardStrategies()
     return out;
 }
 
+namespace {
+
+/** One table keeps the name list and the factories in lockstep, so
+ *  strategyNames() can never drift from what makeStrategy accepts. */
+struct StrategyEntry
+{
+    const char *name;
+    std::unique_ptr<CompressionStrategy> (*make)();
+};
+
+const StrategyEntry kStrategyRegistry[] = {
+    {"qubit_only",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<QubitOnlyStrategy>();
+     }},
+    {"fq",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<FullQuquartStrategy>();
+     }},
+    {"eqm",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<EqmStrategy>();
+     }},
+    {"rb",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<RingBasedStrategy>();
+     }},
+    {"awe",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<AweStrategy>();
+     }},
+    {"pp",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<ProgressivePairingStrategy>();
+     }},
+    {"ec",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<ExhaustiveStrategy>(true);
+     }},
+    {"ec_unordered",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<ExhaustiveStrategy>(false);
+     }},
+    {"portfolio",
+     []() -> std::unique_ptr<CompressionStrategy> {
+         return std::make_unique<PortfolioStrategy>();
+     }},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+strategyNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &e : kStrategyRegistry)
+            out.emplace_back(e.name);
+        return out;
+    }();
+    return names;
+}
+
 std::unique_ptr<CompressionStrategy>
 makeStrategy(const std::string &name)
 {
-    if (name == "qubit_only")
-        return std::make_unique<QubitOnlyStrategy>();
-    if (name == "fq")
-        return std::make_unique<FullQuquartStrategy>();
-    if (name == "eqm")
-        return std::make_unique<EqmStrategy>();
-    if (name == "rb")
-        return std::make_unique<RingBasedStrategy>();
-    if (name == "awe")
-        return std::make_unique<AweStrategy>();
-    if (name == "pp")
-        return std::make_unique<ProgressivePairingStrategy>();
-    if (name == "ec")
-        return std::make_unique<ExhaustiveStrategy>(true);
-    if (name == "ec_unordered")
-        return std::make_unique<ExhaustiveStrategy>(false);
-    if (name == "portfolio")
-        return std::make_unique<PortfolioStrategy>();
-    QFATAL("unknown strategy '", name, "'");
+    for (const auto &e : kStrategyRegistry) {
+        if (name == e.name)
+            return e.make();
+    }
+    std::string valid;
+    for (const auto &n : strategyNames()) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += n;
+    }
+    QFATAL("unknown strategy '", name, "'; valid strategies: ", valid);
 }
 
 } // namespace qompress

@@ -117,7 +117,20 @@ class EqmStrategy : public CompressionStrategy
  */
 std::vector<std::unique_ptr<CompressionStrategy>> standardStrategies();
 
-/** Build one strategy by name (including "ec" and "ec_unordered"). */
+/**
+ * Every name makeStrategy accepts, in registry order (the standard
+ * set plus "ec", "ec_unordered", and "portfolio"). The round-trip
+ * makeStrategy(n)->name() == n holds for every listed name.
+ */
+const std::vector<std::string> &strategyNames();
+
+/**
+ * Build one strategy by name (any strategyNames() entry).
+ *
+ * @throws FatalError on an unknown name; the message lists every
+ *         valid name so callers (CLI, service requests) can surface
+ *         an actionable error.
+ */
 std::unique_ptr<CompressionStrategy>
 makeStrategy(const std::string &name);
 

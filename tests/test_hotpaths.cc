@@ -113,6 +113,37 @@ TEST(HotpathMatrix, InPlaceOpsMatchOperators)
     EXPECT_LE((e1 - e2).norm(), 1e-12);
 }
 
+TEST(HotpathMatrix, ExpmPadeMatchesTaylorAcrossRegimes)
+{
+    // expmInto is now the Padé-13 kernel (the direction-free family
+    // exponential); the retained Taylor form is the reference. Cover
+    // the no-squaring regime, the transition, and heavy squaring.
+    Rng rng(23);
+    for (double scale : {0.01, 0.4, 2.0, 8.0, 30.0}) {
+        const int n = 7;
+        CMatrix a(n, n);
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                // Anti-Hermitian argument, as produced by -i dt H.
+                const CMatrix::Scalar v(rng.nextGaussian(),
+                                        rng.nextGaussian());
+                a(r, c) += v * CMatrix::Scalar(0.0, scale / n);
+                a(c, r) += std::conj(v) * CMatrix::Scalar(0.0, scale / n);
+            }
+        }
+        ExpmWorkspace ws;
+        CMatrix pade, taylor;
+        expmInto(pade, a, ws);
+        expmIntoTaylor(taylor, a, ws);
+        const double denom = std::max(1.0, taylor.norm());
+        EXPECT_LE((pade - taylor).norm() / denom, 1e-11)
+            << "scale " << scale;
+        // e^{anti-Hermitian} is unitary; both kernels must preserve it.
+        EXPECT_TRUE(pade.isUnitary(1e-9)) << "scale " << scale;
+        EXPECT_LE((expm(a) - pade).norm(), 1e-14); // expm rides expmInto
+    }
+}
+
 TEST(HotpathMatrix, FamilyExponentialMatchesAugmented)
 {
     Rng rng(17);

@@ -6,10 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
+#include "circuits/registry.hh"
 #include "common/error.hh"
 #include "ir/circuit.hh"
+#include "ir/fingerprint.hh"
 #include "ir/interaction.hh"
 #include "ir/passes.hh"
+#include "ir/qasm.hh"
 
 namespace qompress {
 namespace {
@@ -175,6 +181,127 @@ TEST(Interaction, SharedNeighbors)
     const InteractionModel im(c);
     EXPECT_EQ(im.sharedNeighbors(0, 1), 2); // both touch 2 and 3
     EXPECT_EQ(im.sharedNeighbors(2, 3), 2);
+}
+
+// ------------------------------------------------------------------
+// Canonical circuit fingerprint (the service memo cache's identity)
+// ------------------------------------------------------------------
+
+namespace {
+
+Circuit
+fingerprintFixture()
+{
+    Circuit c(3, "fp_fixture");
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(0.5, 2); // 0.5 survives toQasm's %.12g exactly
+    c.ccx(0, 1, 2);
+    return c;
+}
+
+} // namespace
+
+TEST(CircuitFingerprint, StableAcrossRebuildsAndReparses)
+{
+    const Circuit a = fingerprintFixture();
+    const Circuit b = fingerprintFixture();
+    EXPECT_EQ(circuitFingerprint(a), circuitFingerprint(b));
+
+    // A dump/parse round trip that reproduces the content (same name,
+    // parameters exactly representable at toQasm's %.12g) fingerprints
+    // identically -- the artifact cache survives serialization.
+    const Circuit reparsed = parseQasm(a.toQasm(), a.name());
+    EXPECT_EQ(circuitFingerprint(a), circuitFingerprint(reparsed));
+}
+
+TEST(CircuitFingerprint, SensitiveToEveryContentChange)
+{
+    const Circuit base = fingerprintFixture();
+    const std::uint64_t fp = circuitFingerprint(base);
+
+    { // gate type
+        Circuit c(3, "fp_fixture");
+        c.x(0); // was h
+        c.cx(0, 1);
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // operand order
+        Circuit c(3, "fp_fixture");
+        c.h(0);
+        c.cx(1, 0); // was cx(0, 1)
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // parameter, down to the last bit
+        Circuit c(3, "fp_fixture");
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(0.5 + 1e-15, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // appended gate
+        Circuit c = fingerprintFixture();
+        c.x(0);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // gate order
+        Circuit c(3, "fp_fixture");
+        c.cx(0, 1);
+        c.h(0); // swapped with the cx
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // width (same gates, one more idle qubit)
+        Circuit c(4, "fp_fixture");
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // name (the compiled artifact embeds it)
+        Circuit c = fingerprintFixture();
+        c.setName("renamed");
+        EXPECT_NE(circuitFingerprint(c), fp);
+    }
+    { // the sign of zero is a representational change
+        Circuit pos(1, "z");
+        pos.rz(0.0, 0);
+        Circuit neg(1, "z");
+        neg.rz(-0.0, 0);
+        EXPECT_NE(circuitFingerprint(pos), circuitFingerprint(neg));
+    }
+}
+
+TEST(CircuitFingerprint, NoCollisionsAcrossTheRegistry)
+{
+    // Every registry family at several sizes: all distinct circuits
+    // must have distinct fingerprints (a collision here would let the
+    // artifact cache serve the wrong compile).
+    std::map<std::uint64_t, std::string> seen;
+    for (const auto &family : benchmarkFamilies()) {
+        std::set<int> family_sizes; // families snap sizes downward
+        for (int size : {6, 8, 10, 12, 16}) {
+            if (size < family.minQubits)
+                continue;
+            const Circuit c = family.make(size);
+            if (!family_sizes.insert(c.numQubits()).second)
+                continue; // snapped duplicate of a smaller request
+            const std::uint64_t fp = circuitFingerprint(c);
+            const auto label = family.name + "/" +
+                               std::to_string(c.numQubits());
+            const auto [it, inserted] = seen.emplace(fp, label);
+            EXPECT_TRUE(inserted)
+                << label << " collides with " << it->second;
+        }
+    }
+    EXPECT_GE(seen.size(), 20u);
 }
 
 } // namespace

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * CompilerService contract tests.
+ *
+ * The load-bearing suite is the bit-identity matrix: a service compile
+ * must equal a direct CompressionStrategy::compile of the same inputs
+ * -- compiled gates, metrics, compressions, layouts -- for every
+ * standard strategy on ring/grid/heavyHex65, across {cache on/off} x
+ * {1, 2, 8 lanes} x {sync, async batch}. The rest covers the memo
+ * cache (hit rates, LRU eviction, capacity knob, shared artifacts),
+ * the context pool, registry-by-name requests, the structured
+ * unknown-strategy error, and the strategy-registry round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "circuits/bv.hh"
+#include "circuits/registry.hh"
+#include "common/error.hh"
+#include "ir/passes.hh"
+#include "service/compiler_service.hh"
+#include "strategies/strategy.hh"
+
+namespace qompress {
+namespace {
+
+bool
+samePhysGates(const CompiledCircuit &a, const CompiledCircuit &b)
+{
+    if (a.numGates() != b.numGates())
+        return false;
+    for (int i = 0; i < a.numGates(); ++i) {
+        const PhysGate &x = a.gates()[i];
+        const PhysGate &y = b.gates()[i];
+        if (x.cls != y.cls || x.slots != y.slots ||
+            x.logical != y.logical || x.logical2 != y.logical2 ||
+            x.param != y.param || x.param2 != y.param2 ||
+            x.isRouting != y.isRouting || x.sourceGate != y.sourceGate ||
+            x.start != y.start || x.duration != y.duration ||
+            x.fidelity != y.fidelity)
+            return false;
+    }
+    return true;
+}
+
+bool
+sameLayout(const Layout &a, const Layout &b, int num_qubits)
+{
+    for (QubitId q = 0; q < num_qubits; ++q) {
+        if (a.slotOf(q) != b.slotOf(q))
+            return false;
+    }
+    return true;
+}
+
+::testing::AssertionResult
+sameResult(const CompileResult &a, const CompileResult &b,
+           int num_qubits)
+{
+    if (!samePhysGates(a.compiled, b.compiled))
+        return ::testing::AssertionFailure() << "physical gates differ";
+    if (a.compressions != b.compressions)
+        return ::testing::AssertionFailure() << "compressions differ";
+    if (a.metrics.gateEps != b.metrics.gateEps ||
+        a.metrics.coherenceEps != b.metrics.coherenceEps ||
+        a.metrics.totalEps != b.metrics.totalEps ||
+        a.metrics.durationNs != b.metrics.durationNs ||
+        a.metrics.numGates != b.metrics.numGates ||
+        a.metrics.numRoutingGates != b.metrics.numRoutingGates ||
+        a.metrics.numTwoUnitGates != b.metrics.numTwoUnitGates ||
+        a.metrics.numEncodedUnits != b.metrics.numEncodedUnits ||
+        a.metrics.classHistogram != b.metrics.classHistogram ||
+        a.metrics.qubitTimeNs != b.metrics.qubitTimeNs ||
+        a.metrics.ququartTimeNs != b.metrics.ququartTimeNs)
+        return ::testing::AssertionFailure() << "metrics differ";
+    if (!sameLayout(a.compiled.initialLayout(),
+                    b.compiled.initialLayout(), num_qubits) ||
+        !sameLayout(a.compiled.finalLayout(), b.compiled.finalLayout(),
+                    num_qubits))
+        return ::testing::AssertionFailure() << "layouts differ";
+    return ::testing::AssertionSuccess();
+}
+
+std::vector<Topology>
+testTopologies()
+{
+    std::vector<Topology> topos;
+    topos.push_back(Topology::ring(8));
+    topos.push_back(Topology::grid(8));
+    topos.push_back(Topology::heavyHex65());
+    return topos;
+}
+
+/**
+ * The acceptance matrix: every standard strategy on ring/grid/
+ * heavyHex65, service vs direct, across cache configuration, lane
+ * count, and sync/async entry points.
+ */
+TEST(ServiceIdentity, MatchesDirectCompileEverywhere)
+{
+    const Circuit circuit = bernsteinVazirani(8);
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+
+    const auto topos = testTopologies();
+    const auto strategies = standardStrategies();
+
+    // Direct references, one per (strategy, topology).
+    std::vector<CompileResult> direct;
+    std::vector<CompileRequest> reqs;
+    for (const auto &strat : strategies) {
+        for (const auto &topo : topos) {
+            direct.push_back(strat->compile(circuit, topo, lib, cfg));
+            reqs.push_back(CompileRequest::forCircuit(
+                circuit, topo, strat->name(), cfg, lib));
+        }
+    }
+
+    for (std::size_t cache_cap : {std::size_t(0), std::size_t(64)}) {
+        for (int lanes : {1, 2, 8}) {
+            ServiceOptions opts;
+            opts.cacheCapacity = cache_cap;
+            opts.threads = lanes;
+            CompilerService service(opts);
+
+            // Sync, one request at a time.
+            for (std::size_t i = 0; i < reqs.size(); ++i) {
+                const CompileArtifact art = service.compileSync(reqs[i]);
+                EXPECT_TRUE(sameResult(*art, direct[i],
+                                       circuit.numQubits()))
+                    << "sync cache=" << cache_cap << " lanes=" << lanes
+                    << " req=" << i;
+            }
+
+            // Async batch (same service: with the cache on these are
+            // warm; with it off they recompile -- both must match).
+            auto handles = service.submitBatch(reqs, lanes);
+            ASSERT_EQ(handles.size(), reqs.size());
+            for (std::size_t i = 0; i < handles.size(); ++i) {
+                const CompileArtifact art = handles[i].get();
+                EXPECT_TRUE(sameResult(*art, direct[i],
+                                       circuit.numQubits()))
+                    << "batch cache=" << cache_cap << " lanes=" << lanes
+                    << " req=" << i;
+            }
+        }
+    }
+}
+
+TEST(ServiceCache, WarmPassHitsEveryRequest)
+{
+    const Circuit circuit = bernsteinVazirani(6);
+    const Topology topo = Topology::grid(6);
+    const GateLibrary lib;
+
+    CompilerService service;
+    std::vector<CompileRequest> reqs;
+    for (const auto &name : {"qubit_only", "eqm", "rb", "awe", "pp"})
+        reqs.push_back(CompileRequest::forCircuit(circuit, topo, name,
+                                                  CompilerConfig{}, lib));
+
+    std::vector<CompileArtifact> first;
+    for (const auto &r : reqs)
+        first.push_back(service.compileSync(r));
+    ServiceStats s1 = service.stats();
+    EXPECT_EQ(s1.requests, reqs.size());
+    EXPECT_EQ(s1.misses, reqs.size());
+    EXPECT_EQ(s1.hits, 0u);
+    EXPECT_EQ(s1.cacheSize, reqs.size());
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const CompileArtifact again = service.compileSync(reqs[i]);
+        // A hit returns the *same* shared immutable artifact.
+        EXPECT_EQ(again.get(), first[i].get());
+    }
+    ServiceStats s2 = service.stats();
+    EXPECT_EQ(s2.hits, reqs.size());
+    EXPECT_EQ(s2.misses, reqs.size());
+}
+
+TEST(ServiceCache, LruEvictionAndCapacityKnob)
+{
+    const GateLibrary lib;
+    const Topology topo = Topology::grid(6);
+
+    ServiceOptions opts;
+    opts.cacheCapacity = 2;
+    CompilerService service(opts);
+
+    auto req = [&](const char *strategy) {
+        return CompileRequest::forCircuit(bernsteinVazirani(6), topo,
+                                          strategy, CompilerConfig{},
+                                          lib);
+    };
+
+    service.compileSync(req("eqm"));        // {eqm}
+    service.compileSync(req("rb"));         // {rb, eqm}
+    service.compileSync(req("awe"));        // {awe, rb} -- eqm evicted
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.cacheSize, 2u);
+
+    service.compileSync(req("eqm")); // recompiles (was evicted)
+    EXPECT_EQ(service.stats().misses, 4u);
+
+    service.setCacheCapacity(1);
+    EXPECT_EQ(service.stats().cacheSize, 1u);
+    EXPECT_GE(service.stats().evictions, 2u);
+
+    // Capacity 0 disables memoization outright.
+    service.setCacheCapacity(0);
+    service.compileSync(req("eqm"));
+    service.compileSync(req("eqm"));
+    ServiceStats off = service.stats();
+    EXPECT_EQ(off.cacheSize, 0u);
+    EXPECT_EQ(off.hits, s.hits);
+}
+
+TEST(ServiceCache, DisabledCacheStillIdentical)
+{
+    const Circuit circuit = bernsteinVazirani(6);
+    const Topology topo = Topology::grid(6);
+    const GateLibrary lib;
+    ServiceOptions opts;
+    opts.cacheCapacity = 0;
+    CompilerService service(opts);
+    const auto req = CompileRequest::forCircuit(circuit, topo, "eqm",
+                                                CompilerConfig{}, lib);
+    const CompileArtifact a = service.compileSync(req);
+    const CompileArtifact b = service.compileSync(req);
+    EXPECT_NE(a.get(), b.get()); // distinct compiles...
+    EXPECT_TRUE(sameResult(*a, *b, circuit.numQubits())); // ...same bits
+    EXPECT_EQ(service.stats().hits, 0u);
+    EXPECT_EQ(service.stats().misses, 2u);
+}
+
+TEST(ServiceContextPool, ReusesWarmContextsAcrossRequests)
+{
+    const Topology topo = Topology::grid(8);
+    const GateLibrary lib;
+    ServiceOptions opts;
+    opts.cacheCapacity = 0; // force real compiles
+    CompilerService service(opts);
+
+    // Same topology/library/config pricing, different strategies and
+    // circuits: one context serves all four compiles back to back.
+    service.compileSync(CompileRequest::forCircuit(
+        bernsteinVazirani(8), topo, "eqm", CompilerConfig{}, lib));
+    service.compileSync(CompileRequest::forCircuit(
+        bernsteinVazirani(8), topo, "rb", CompilerConfig{}, lib));
+    service.compileSync(CompileRequest::forCircuit(
+        bernsteinVazirani(7), topo, "eqm", CompilerConfig{}, lib));
+    service.compileSync(CompileRequest::forFamily(
+        "bv", 8, topo, "awe", CompilerConfig{}, lib));
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.contextsCreated, 1u);
+    EXPECT_EQ(s.contextsReused, 3u);
+    EXPECT_EQ(s.pooledContexts, 1u);
+
+    // A different pricing configuration gets its own context.
+    CompilerConfig nocache;
+    nocache.useDistanceCache = false;
+    service.compileSync(CompileRequest::forCircuit(
+        bernsteinVazirani(8), topo, "eqm", nocache, lib));
+    EXPECT_EQ(service.stats().contextsCreated, 2u);
+
+    // clearCache drops pooled contexts too.
+    service.clearCache();
+    EXPECT_EQ(service.stats().pooledContexts, 0u);
+}
+
+TEST(ServiceContextPool, DisabledPoolBuildsColdContexts)
+{
+    const Topology topo = Topology::grid(6);
+    ServiceOptions opts;
+    opts.cacheCapacity = 0;
+    opts.contextPoolCapacity = 0;
+    CompilerService service(opts);
+    const auto req = CompileRequest::forCircuit(
+        bernsteinVazirani(6), topo, "eqm", CompilerConfig{}, {});
+    service.compileSync(req);
+    service.compileSync(req);
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.contextsCreated, 2u);
+    EXPECT_EQ(s.contextsReused, 0u);
+    EXPECT_EQ(s.pooledContexts, 0u);
+}
+
+TEST(ServiceRequests, FamilyAndExplicitCircuitShareArtifacts)
+{
+    const Topology topo = Topology::grid(8);
+    CompilerService service;
+    const CompileArtifact by_family = service.compileSync(
+        CompileRequest::forFamily("bv", 8, topo, "eqm"));
+    // The registry's "bv" family is bernsteinVazirani: an explicit
+    // circuit with identical content is the same request.
+    const CompileArtifact by_circuit =
+        service.compileSync(CompileRequest::forCircuit(
+            benchmarkFamily("bv").make(8), topo, "eqm"));
+    EXPECT_EQ(by_family.get(), by_circuit.get());
+    EXPECT_EQ(service.stats().hits, 1u);
+}
+
+TEST(ServiceRequests, DuplicateBatchSharesOneArtifact)
+{
+    const Topology topo = Topology::grid(6);
+    ServiceOptions opts;
+    opts.threads = 8;
+    CompilerService service(opts);
+    std::vector<CompileRequest> reqs(
+        4, CompileRequest::forCircuit(bernsteinVazirani(6), topo, "eqm"));
+    auto handles = service.submitBatch(std::move(reqs));
+    std::set<const CompileResult *> distinct;
+    for (const auto &h : handles)
+        distinct.insert(h.get().get());
+    EXPECT_EQ(distinct.size(), 1u);
+    // Whatever the interleaving, every request is accounted for as
+    // exactly one of miss (the compiling owner), coalesced (waited on
+    // the owner), or hit (arrived after completion).
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.misses + s.coalesced + s.hits, 4u);
+    EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(ServiceRequests, HandlesReadyByServiceDestruction)
+{
+    // Tasks may land on the process-global pool, which outlives the
+    // service; the destructor must drain them so a handle outliving
+    // its service is always ready (never a dangling `this` capture).
+    const Topology topo = Topology::grid(6);
+    std::vector<CompileHandle> handles;
+    {
+        ServiceOptions opts;
+        opts.threads = 0; // process default: the global pool if > 1
+        CompilerService service(opts);
+        std::vector<CompileRequest> reqs;
+        for (const auto &name : {"eqm", "rb", "awe", "pp"})
+            reqs.push_back(CompileRequest::forCircuit(
+                bernsteinVazirani(6), topo, name));
+        handles = service.submitBatch(std::move(reqs));
+        // Service destroyed here with handles still un-waited.
+    }
+    for (const auto &h : handles) {
+        ASSERT_TRUE(h.valid());
+        EXPECT_NE(h.get(), nullptr);
+    }
+}
+
+TEST(ServiceErrors, UnknownStrategyListsValidNames)
+{
+    try {
+        makeStrategy("definitely_not_a_strategy");
+        FAIL() << "makeStrategy should have thrown";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("definitely_not_a_strategy"),
+                  std::string::npos);
+        for (const auto &name : strategyNames())
+            EXPECT_NE(msg.find(name), std::string::npos)
+                << "error message should list '" << name << "'";
+    }
+
+    // The same structured error surfaces through both service entry
+    // points.
+    CompilerService service;
+    const auto req = CompileRequest::forCircuit(
+        bernsteinVazirani(4), Topology::grid(4), "nope");
+    EXPECT_THROW(service.compileSync(req), FatalError);
+    auto handle = service.submit(req);
+    EXPECT_THROW(handle.get(), FatalError);
+    // Failures are not cached.
+    EXPECT_EQ(service.stats().cacheSize, 0u);
+}
+
+TEST(ServiceErrors, UnknownFamilyThrows)
+{
+    CompilerService service;
+    EXPECT_THROW(service.compileSync(CompileRequest::forFamily(
+                     "no_such_family", 8, Topology::grid(8), "eqm")),
+                 FatalError);
+    // Explicit-circuit requests resolve to their own circuit.
+    const Circuit resolved =
+        CompileRequest::forCircuit(bernsteinVazirani(4),
+                                   Topology::grid(4), "eqm")
+            .resolveCircuit();
+    EXPECT_EQ(resolved.numQubits(), 4);
+}
+
+TEST(ServiceErrors, RequestWithoutCircuitOrFamilyThrows)
+{
+    CompileRequest req = CompileRequest::forFamily(
+        "bv", 8, Topology::grid(8), "eqm");
+    req.family.clear();
+    EXPECT_THROW(req.resolveCircuit(), FatalError);
+}
+
+TEST(StrategyRegistry, RoundTripsEveryName)
+{
+    const auto &names = strategyNames();
+    ASSERT_FALSE(names.empty());
+    for (const auto &name : names) {
+        const auto strategy = makeStrategy(name);
+        ASSERT_NE(strategy, nullptr);
+        EXPECT_EQ(strategy->name(), name);
+    }
+    // The standard evaluation set is a subset of the registry.
+    for (const auto &strat : standardStrategies()) {
+        EXPECT_NE(std::find(names.begin(), names.end(), strat->name()),
+                  names.end());
+    }
+}
+
+TEST(ServiceFingerprints, ComponentsDistinguishContent)
+{
+    const Topology g8 = Topology::grid(8);
+    EXPECT_EQ(topologyFingerprint(g8),
+              topologyFingerprint(Topology::grid(8)));
+    EXPECT_NE(topologyFingerprint(g8),
+              topologyFingerprint(Topology::ring(8)));
+
+    GateLibrary lib;
+    const std::uint64_t base = libraryFingerprint(lib);
+    EXPECT_EQ(base, libraryFingerprint(GateLibrary{}));
+    lib.setT1(GateLibrary::kT1QubitNs, GateLibrary::kT1QuquartNs * 2);
+    EXPECT_NE(base, libraryFingerprint(lib));
+
+    CompilerConfig a, b;
+    EXPECT_EQ(configFingerprint(a), configFingerprint(b));
+    b.lookaheadWeight = 0.5;
+    EXPECT_NE(configFingerprint(a), configFingerprint(b));
+    // threads is lane count, not content: results are lane-invariant,
+    // so it must not split the cache.
+    CompilerConfig c;
+    c.threads = 8;
+    EXPECT_EQ(configFingerprint(a), configFingerprint(c));
+}
+
+} // namespace
+} // namespace qompress

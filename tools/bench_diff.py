@@ -9,16 +9,24 @@ exits nonzero when any *_ms timing regresses beyond the threshold.
 Usage:
     tools/bench_diff.py baseline.json candidate.json [--threshold=1.10]
     tools/bench_diff.py baseline.json candidate.json --regress-threshold=10
+    tools/bench_diff.py baseline.json candidate.json --sections=service_
 
 Timings (metrics ending in "_ms") count as regressions when candidate
 exceeds baseline * threshold; other metrics are informational. Metrics
-present in only one file are listed (not gated), and each file's
-"host" metadata object (nproc, QOMPRESS_THREADS, build type) is echoed
-so cross-host comparisons are interpretable.
+present in only one file are reported as "added" (candidate only) or
+"removed" (baseline only) and never gated or errored on -- a PR that
+introduces a new bench section diffs cleanly against the old snapshot.
+Each file's "host" metadata object (nproc, QOMPRESS_THREADS, build
+type) is echoed so cross-host comparisons are interpretable.
 
 --regress-threshold=N expresses the same gate as a percentage: exit
 non-zero when any timed section slows down by more than N%. It is the
 flag CI snapshots gate on (equivalent to --threshold=1+N/100).
+
+--sections=PREFIX[,PREFIX...] restricts gating (and the table) to
+metrics whose name starts with one of the prefixes; everything else is
+ignored. Lets CI hold one section family to a tighter gate than the
+cross-host default.
 """
 
 import json
@@ -57,6 +65,7 @@ def describe_host(doc):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 1.10
+    prefixes = None
     for a in argv[1:]:
         if not a.startswith("--"):
             continue
@@ -79,6 +88,11 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             threshold = 1.0 + pct / 100.0
+        elif a.startswith("--sections="):
+            prefixes = [p for p in a.split("=", 1)[1].split(",") if p]
+            if not prefixes:
+                print(f"empty sections filter: {a}", file=sys.stderr)
+                return 2
         else:
             print(f"unknown flag: {a}", file=sys.stderr)
             return 2
@@ -90,12 +104,17 @@ def main(argv):
     cand_doc = load_doc(args[1])
     base = metrics_of(base_doc, args[0])
     cand = metrics_of(cand_doc, args[1])
+    if prefixes is not None:
+        def keep(name):
+            return any(name.startswith(p) for p in prefixes)
+        base = {k: v for k, v in base.items() if keep(k)}
+        cand = {k: v for k, v in cand.items() if keep(k)}
     shared = sorted(set(base) & set(cand))
-    if not shared:
-        print("no shared numeric metrics", file=sys.stderr)
+    removed = sorted(set(base) - set(cand))
+    added = sorted(set(cand) - set(base))
+    if not shared and not added and not removed:
+        print("no numeric metrics match the filter", file=sys.stderr)
         return 2
-    only_base = sorted(set(base) - set(cand))
-    only_cand = sorted(set(cand) - set(base))
 
     print(f"baseline  host: {describe_host(base_doc)}")
     print(f"candidate host: {describe_host(cand_doc)}")
@@ -104,7 +123,7 @@ def main(argv):
               "different machines/configurations")
     print()
 
-    width = max(len(k) for k in shared)
+    width = max(len(k) for k in shared + added + removed)
     regressions = []
     print(f"{'metric':<{width}}  {'baseline':>12}  {'candidate':>12}"
           f"  {'ratio':>8}  note")
@@ -121,10 +140,18 @@ def main(argv):
         print(f"{key:<{width}}  {b:>12.4g}  {c:>12.4g}"
               f"  {ratio:>7.3f}x  {note}")
 
-    for key in only_base:
-        print(f"{key:<{width}}  (only in baseline)")
-    for key in only_cand:
-        print(f"{key:<{width}}  (only in candidate)")
+    # Sections present in only one file are informational, never gated:
+    # a brand-new bench section must not require threshold gymnastics
+    # to land, and a retired one must not block the retiring PR.
+    for key in removed:
+        print(f"{key:<{width}}  {base[key]:>12.4g}  {'--':>12}"
+              f"  {'--':>8}  removed (baseline only)")
+    for key in added:
+        print(f"{key:<{width}}  {'--':>12}  {cand[key]:>12.4g}"
+              f"  {'--':>8}  added (candidate only)")
+    if added or removed:
+        print(f"\n{len(added)} added, {len(removed)} removed "
+              "(not gated)")
 
     if regressions:
         print(f"\n{len(regressions)} timing regression(s): "
