@@ -7,9 +7,11 @@
  * expanded graph, full mapping+routing of the deep QAOA/heavy-hex
  * workload, the exhaustive strategy's candidate-pair sweep on
  * heavyHex65 (serial vs thread-pool fan-out at 2/4/8 lanes), the
- * evaluation-sweep cell fan-out at 1/2/4/8 lanes, and the
+ * evaluation-sweep cell fan-out at 1/2/4/8 lanes, the
  * CompilerService request path (cold vs warm-memo-cache batch
- * throughput at 1/2/4/8 lanes) -- against the retained
+ * throughput at 1/2/4/8 lanes), and the template tier (cold full
+ * compiles vs parameter rebinds across a 20-point QAOA-40/heavyHex65
+ * angle grid at 1/2/4/8 lanes) -- against the retained
  * naive/uncached/serial reference paths in the same binary,
  * and emits machine-readable JSON with a "host" metadata object
  * (nproc, QOMPRESS_THREADS, build type) so snapshots from different
@@ -30,9 +32,11 @@
  *                count, and that CompilerService requests are
  *                bit-identical to direct strategy compiles at every
  *                lane count with warm (memoized) batches beating cold
- *                ones by >= the memo cache's expected margin; exits
- *                nonzero on violation. Registered under ctest label
- *                "bench".
+ *                ones by >= the memo cache's expected margin, and that
+ *                template rebinds are bit-identical to full compiles
+ *                of the same angle-grid instances while beating them
+ *                by >= the rebind margin; exits nonzero on violation.
+ *                Registered under ctest label "bench".
  *   --quick      smaller repetition counts.
  *   --out=FILE   also write the JSON to FILE.
  */
@@ -236,6 +240,9 @@ sameGates(const CompiledCircuit &a, const CompiledCircuit &b)
         const PhysGate &y = b.gates()[i];
         if (x.cls != y.cls || x.slots != y.slots ||
             x.logical != y.logical || x.param != y.param ||
+            x.logical2 != y.logical2 || x.param2 != y.param2 ||
+            x.sourceGate != y.sourceGate ||
+            x.sourceGate2 != y.sourceGate2 ||
             x.isRouting != y.isRouting)
             return false;
     }
@@ -780,6 +787,132 @@ benchService(int reps, int sizes_hi)
     return res;
 }
 
+struct TemplateBenchResult
+{
+    double cold_t1_ms, cold_t2_ms, cold_t4_ms, cold_t8_ms;
+    double rebind_t1_ms, rebind_t2_ms, rebind_t4_ms, rebind_t8_ms;
+    bool identical;         // rebound artifacts == full-compile artifacts
+    std::uint64_t angles;   // grid points per pass
+    std::uint64_t template_hits;   // tier counters observed at 1 lane
+    std::uint64_t template_misses;
+};
+
+/** A template rebind skips mapping, routing, and scheduling entirely
+ *  (deep-copy + O(gates) parameter patch + metrics re-price), so it
+ *  must beat a cold full compile of the same instance by at least
+ *  this factor on the angle-sweep workload. Asserted under --check. */
+constexpr double kTemplateRebindMargin = 10.0;
+
+/**
+ * The parameterized-sweep workload: a >= 20-point angle grid over the
+ * QAOA-40/heavyHex65 circuit (one structure, varying rotation
+ * angles), issued through a CompilerService at each lane count. The
+ * cold pass forces full compiles via CompileRequest::fullCompile (and
+ * clears the memo between reps, so every point pays the whole
+ * pipeline); the rebind pass warms one template with a single
+ * full compile of an off-grid exemplar, then serves the entire grid
+ * from the template tier. Rebound artifacts must be bit-identical to
+ * the full compiles of the same instances.
+ */
+TemplateBenchResult
+benchTemplate(int reps, int rounds, int num_angles)
+{
+    const Circuit base = qaoaHeavyHex(40, rounds);
+    const Topology topo = Topology::heavyHex65();
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+    const char *strat = "awe";
+
+    // The angle grid (distinct points, none equal to the exemplar's),
+    // bound positionally over the base structure.
+    const Circuit exemplar = bindParams(base, {0.77, 1.31});
+    std::vector<CompileRequest> full_reqs, rebind_reqs;
+    for (int i = 0; i < num_angles; ++i) {
+        const Circuit inst = bindParams(
+            base, {0.11 + 0.143 * i, 2.93 - 0.117 * i});
+        auto req =
+            CompileRequest::forCircuit(inst, topo, strat, cfg, lib);
+        rebind_reqs.push_back(req);
+        req.fullCompile = true;
+        full_reqs.push_back(std::move(req));
+    }
+
+    TemplateBenchResult res{};
+    res.identical = true;
+    res.angles = static_cast<std::uint64_t>(num_angles);
+    for (int lanes : {1, 2, 4, 8}) {
+        ServiceOptions sopts;
+        sopts.threads = lanes;
+        CompilerService service(sopts);
+
+        auto run_pass = [&](const std::vector<CompileRequest> &reqs,
+                            double &ms_acc,
+                            std::vector<CompileArtifact> *out) {
+            const auto t0 = Clock::now();
+            auto handles = service.submitBatch(reqs, lanes);
+            for (std::size_t i = 0; i < handles.size(); ++i) {
+                CompileArtifact a = handles[i].get();
+                if (out)
+                    (*out)[i] = std::move(a);
+            }
+            ms_acc += 1e3 * secondsSince(t0);
+        };
+
+        // Discarded warm-up: spawns the lane pool and grows the
+        // allocator on the compile-heavy path.
+        double discard = 0.0;
+        run_pass(full_reqs, discard, nullptr);
+
+        double cold_ms = 0.0, rebind_ms = 0.0;
+        std::vector<CompileArtifact> cold(full_reqs.size());
+        std::vector<CompileArtifact> rebound(rebind_reqs.size());
+        for (int r = 0; r < reps; ++r) {
+            // Cold: every grid point pays the full pipeline (the memo
+            // was cleared, and fullCompile bypasses the templates).
+            service.clearCache();
+            run_pass(full_reqs, cold_ms, r == 0 ? &cold : nullptr);
+            // Rebind: one off-grid full compile plants the template
+            // (untimed), then the whole grid rides it.
+            service.clearCache();
+            service.compileSync(CompileRequest::forCircuit(
+                exemplar, topo, strat, cfg, lib));
+            run_pass(rebind_reqs, rebind_ms,
+                     r == 0 ? &rebound : nullptr);
+        }
+        cold_ms /= reps;
+        rebind_ms /= reps;
+
+        for (std::size_t i = 0; i < rebound.size(); ++i) {
+            res.identical = res.identical &&
+                            sameCompileResults(*rebound[i], *cold[i]);
+        }
+        switch (lanes) {
+        case 1: {
+            res.cold_t1_ms = cold_ms;
+            res.rebind_t1_ms = rebind_ms;
+            const ServiceStats stats = service.stats();
+            res.template_hits = stats.templateHits;
+            res.template_misses = stats.templateMisses;
+            break;
+        }
+        case 2:
+            res.cold_t2_ms = cold_ms;
+            res.rebind_t2_ms = rebind_ms;
+            break;
+        case 4:
+            res.cold_t4_ms = cold_ms;
+            res.rebind_t4_ms = rebind_ms;
+            break;
+        default:
+            res.cold_t8_ms = cold_ms;
+            res.rebind_t8_ms = rebind_ms;
+            break;
+        }
+    }
+    return res;
+}
+
 } // namespace
 
 int
@@ -810,6 +943,12 @@ main(int argc, char **argv)
     // stay safe.
     const int service_reps = check ? 2 : (args.quick ? 2 : 4);
     const int service_hi = check ? 10 : (args.quick ? 12 : 14);
+    // The rebind/cold ratio gates --check; the margin is wide
+    // (kTemplateRebindMargin vs a real ~100x on this workload), so
+    // small rep counts and fewer rounds stay safe.
+    const int template_reps = check ? 1 : (args.quick ? 2 : 3);
+    const int template_rounds = check ? 1 : 2;
+    const int template_angles = 20;
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
@@ -820,6 +959,8 @@ main(int argc, char **argv)
     const GrapeLanesBenchResult gl = benchGrapeLanes(grape_lane_reps);
     const PadeBenchResult pd = benchPade(pade_reps);
     const ServiceBenchResult sv = benchService(service_reps, service_hi);
+    const TemplateBenchResult tm =
+        benchTemplate(template_reps, template_rounds, template_angles);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -839,13 +980,15 @@ main(int argc, char **argv)
         pd.pade_ms > 0.0 ? pd.taylor_ms / pd.pade_ms : 0.0;
     const double service_warm_speedup =
         sv.warm_t1_ms > 0.0 ? sv.cold_t1_ms / sv.warm_t1_ms : 0.0;
+    const double template_rebind_speedup =
+        tm.rebind_t1_ms > 0.0 ? tm.cold_t1_ms / tm.rebind_t1_ms : 0.0;
 
     const char *qt_env = std::getenv("QOMPRESS_THREADS");
 #ifndef QOMPRESS_BUILD_TYPE
 #define QOMPRESS_BUILD_TYPE "unknown"
 #endif
 
-    char buf[12288];
+    char buf[16384];
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -915,7 +1058,20 @@ main(int argc, char **argv)
         "    \"service_requests\": %llu,\n"
         "    \"service_hits\": %llu,\n"
         "    \"service_misses\": %llu,\n"
-        "    \"service_identical\": %s\n"
+        "    \"service_identical\": %s,\n"
+        "    \"template_cold_t1_ms\": %.4f,\n"
+        "    \"template_cold_t2_ms\": %.4f,\n"
+        "    \"template_cold_t4_ms\": %.4f,\n"
+        "    \"template_cold_t8_ms\": %.4f,\n"
+        "    \"template_rebind_t1_ms\": %.4f,\n"
+        "    \"template_rebind_t2_ms\": %.4f,\n"
+        "    \"template_rebind_t4_ms\": %.4f,\n"
+        "    \"template_rebind_t8_ms\": %.4f,\n"
+        "    \"template_rebind_speedup\": %.3f,\n"
+        "    \"template_angles\": %llu,\n"
+        "    \"template_hits\": %llu,\n"
+        "    \"template_misses\": %llu,\n"
+        "    \"template_identical\": %s\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -946,7 +1102,13 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(sv.requests),
         static_cast<unsigned long long>(sv.hits),
         static_cast<unsigned long long>(sv.misses),
-        sv.identical ? "true" : "false");
+        sv.identical ? "true" : "false", tm.cold_t1_ms, tm.cold_t2_ms,
+        tm.cold_t4_ms, tm.cold_t8_ms, tm.rebind_t1_ms, tm.rebind_t2_ms,
+        tm.rebind_t4_ms, tm.rebind_t8_ms, template_rebind_speedup,
+        static_cast<unsigned long long>(tm.angles),
+        static_cast<unsigned long long>(tm.template_hits),
+        static_cast<unsigned long long>(tm.template_misses),
+        tm.identical ? "true" : "false");
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -1003,6 +1165,14 @@ main(int argc, char **argv)
         expect(service_warm_speedup >= kServiceWarmMargin,
                "warm (memoized) service batches beat cold ones by >= "
                "the memo cache's expected margin");
+        expect(tm.identical,
+               "template rebinds are bit-identical to full compiles "
+               "across the QAOA angle grid at 1/2/4/8 lanes");
+        expect(tm.template_hits > 0,
+               "the angle grid was served from the template tier");
+        expect(template_rebind_speedup >= kTemplateRebindMargin,
+               "template rebinds beat cold full compiles by >= the "
+               "template tier's expected margin");
         return failures == 0 ? 0 : 1;
     }
     return 0;

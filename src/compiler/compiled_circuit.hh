@@ -44,6 +44,10 @@ struct PhysGate
     /** Index of the originating logical gate; -1 for routing ops. */
     int sourceGate = -1;
 
+    /** For fused SqEncBoth gates: index of the logical gate behind
+     *  logical2/param2; -1 everywhere else. */
+    int sourceGate2 = -1;
+
     /** Filled by the scheduler. */
     double start = 0.0;
     double duration = 0.0;
@@ -69,6 +73,7 @@ class CompiledCircuit
     CompiledCircuit(Layout initial, std::string name);
 
     const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
 
     const Layout &initialLayout() const { return initial_; }
     const Layout &finalLayout() const { return final_; }

@@ -1,0 +1,109 @@
+#include "compiler/rebind.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "ir/passes.hh"
+
+namespace qompress {
+
+namespace {
+
+/** slot number of each native-gate index (-1 for unparameterized):
+ *  slot k = k-th parameterized gate in program order. */
+std::vector<int>
+slotOfNativeGate(const Circuit &native)
+{
+    std::vector<int> slot(native.numGates(), -1);
+    int next = 0;
+    for (int i = 0; i < native.numGates(); ++i) {
+        if (gateHasParam(native.gates()[i].type))
+            slot[i] = next++;
+    }
+    return slot;
+}
+
+/** The angles of @p c's parameterized gates, in program order. */
+std::vector<double>
+paramValues(const Circuit &c)
+{
+    std::vector<double> vals;
+    for (const Gate &g : c.gates()) {
+        if (gateHasParam(g.type))
+            vals.push_back(g.param);
+    }
+    return vals;
+}
+
+} // namespace
+
+CompiledTemplate
+makeTemplate(std::shared_ptr<const CompileResult> base,
+             const Circuit &exemplar)
+{
+    QPANIC_IF(!base, "makeTemplate: null base result");
+    const Circuit native = isNative(exemplar)
+        ? exemplar : decomposeToNativeGates(exemplar);
+    const std::vector<int> slot = slotOfNativeGate(native);
+
+    CompiledTemplate tpl;
+    tpl.base = std::move(base);
+    tpl.numParamSlots = static_cast<std::size_t>(
+        std::count_if(slot.begin(), slot.end(),
+                      [](int s) { return s >= 0; }));
+
+    const auto &pgates = tpl.base->compiled.gates();
+    for (int pi = 0; pi < static_cast<int>(pgates.size()); ++pi) {
+        const PhysGate &pg = pgates[pi];
+        if (pg.sourceGate >= 0 && gateHasParam(pg.logical)) {
+            QPANIC_IF(pg.sourceGate >= native.numGates() ||
+                          slot[pg.sourceGate] < 0,
+                      "template binding: sourceGate ", pg.sourceGate,
+                      " is not a parameterized native gate");
+            QPANIC_IF(pg.param != native.gates()[pg.sourceGate].param,
+                      "template binding: compiled param diverged from "
+                      "its source gate");
+            tpl.bindings.push_back({pi, slot[pg.sourceGate], false});
+        }
+        if (pg.sourceGate2 >= 0 && gateHasParam(pg.logical2)) {
+            QPANIC_IF(pg.sourceGate2 >= native.numGates() ||
+                          slot[pg.sourceGate2] < 0,
+                      "template binding: sourceGate2 ", pg.sourceGate2,
+                      " is not a parameterized native gate");
+            QPANIC_IF(pg.param2 != native.gates()[pg.sourceGate2].param,
+                      "template binding: compiled param2 diverged from "
+                      "its source gate");
+            tpl.bindings.push_back({pi, slot[pg.sourceGate2], true});
+        }
+    }
+    return tpl;
+}
+
+CompileResult
+rebindTemplate(const CompiledTemplate &tpl, const Circuit &instance,
+               const GateLibrary &lib)
+{
+    QPANIC_IF(!tpl.base, "rebindTemplate: empty template");
+    const std::vector<double> vals = paramValues(instance);
+    QPANIC_IF(vals.size() != tpl.numParamSlots,
+              "rebindTemplate: instance exposes ", vals.size(),
+              " parameter slots, template has ", tpl.numParamSlots);
+
+    CompileResult out = *tpl.base; // deep copy of the exemplar compile
+    out.compiled.setName(instance.name());
+    auto &gates = out.compiled.mutableGates();
+    for (const ParamBinding &b : tpl.bindings) {
+        if (b.second)
+            gates[b.physGate].param2 = vals[b.slot];
+        else
+            gates[b.physGate].param = vals[b.slot];
+    }
+    // Re-price. Gates are priced by physical class and the schedule is
+    // untouched, so this reproduces (not merely approximates) what a
+    // from-scratch compile would report; running it keeps the artifact
+    // honest if pricing ever grows a parameter term.
+    out.metrics = computeMetrics(out.compiled, lib);
+    return out;
+}
+
+} // namespace qompress

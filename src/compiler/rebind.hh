@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Template compilation: reuse one full compile's structure across a
+ * whole family of circuits that differ only in rotation angles.
+ *
+ * No stage of the compile pipeline branches on parameter values --
+ * mapping and routing read gate types and operands, the scheduler and
+ * the metrics price by physical gate class -- so two circuits with
+ * equal structural fingerprints (ir/fingerprint.hh) compile, for the
+ * same topology/library/config/strategy, to CompileResults that differ
+ * ONLY in the parameters carried on the physical gates (and the
+ * embedded circuit name). A CompiledTemplate captures everything else
+ * once; rebindTemplate() then produces the full-compile result for any
+ * other member of the structural class by substituting its angles and
+ * re-pricing metrics -- O(gates) instead of O(compile).
+ *
+ * Bit-identity of rebind vs. a from-scratch compile is differentially
+ * tested (tests/test_template.cc) and asserted by bench_hotpaths
+ * --check for every standard strategy.
+ */
+
+#ifndef QOMPRESS_COMPILER_REBIND_HH
+#define QOMPRESS_COMPILER_REBIND_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/pipeline.hh"
+
+namespace qompress {
+
+/**
+ * One parameter substitution site in a compiled program.
+ *
+ * Slot numbering is positional over the INPUT circuit: slot k is the
+ * k-th parameterized gate in program order (the order
+ * StructuralFingerprint::paramGates lists). This is well-defined
+ * across decomposition because decomposeToNativeGates passes
+ * parameterized gates through verbatim, in order, and introduces none
+ * (CCX lowers to Clifford+T, CZ to H-CX-H).
+ */
+struct ParamBinding
+{
+    int physGate = -1; ///< index into CompiledCircuit::gates()
+    int slot = -1;     ///< which parameter slot feeds this site
+    bool second = false; ///< patch param2 (fused SqEncBoth) not param
+};
+
+/**
+ * A reusable compiled structure: the full compile of one exemplar
+ * instance plus the table mapping parameter slots to the physical
+ * gates (and fused halves) that carry them.
+ */
+struct CompiledTemplate
+{
+    /** The exemplar's complete compile (immutable, shared). */
+    std::shared_ptr<const CompileResult> base;
+
+    /** Every parameterized site in base->compiled, in gate order. */
+    std::vector<ParamBinding> bindings;
+
+    /** Parameter-slot count of the structural class; rebind targets
+     *  must expose exactly this many parameterized gates. */
+    std::size_t numParamSlots = 0;
+};
+
+/**
+ * Extract the binding table from a finished compile.
+ *
+ * @param base     the compile's result (kept alive by the template)
+ * @param exemplar the INPUT circuit that was compiled (pre-decompose)
+ *
+ * Panics if the compiled gates' parameters disagree with the exemplar
+ * (which would mean the pipeline transformed a parameter -- the
+ * invariant the whole scheme rests on).
+ */
+CompiledTemplate makeTemplate(std::shared_ptr<const CompileResult> base,
+                              const Circuit &exemplar);
+
+/**
+ * Produce the CompileResult for @p instance from a template built on a
+ * structurally identical exemplar: copy the base result, substitute
+ * @p instance's angles through the binding table, stamp its name, and
+ * re-price Metrics. The caller is responsible for structural equality
+ * (same structuralCircuitFingerprint value); rebind re-checks only the
+ * slot count. Bit-identical to compiling @p instance from scratch.
+ */
+CompileResult rebindTemplate(const CompiledTemplate &tpl,
+                             const Circuit &instance,
+                             const GateLibrary &lib);
+
+} // namespace qompress
+
+#endif // QOMPRESS_COMPILER_REBIND_HH

@@ -261,6 +261,7 @@ routeCircuit(const Circuit &native, Layout &layout, const CostModel &cost,
                 pg.logical2 = gates[g1].type;
                 pg.param2 = gates[g1].param;
                 pg.sourceGate = g0;
+                pg.sourceGate2 = g1;
                 out.add(pg);
                 continue;
             }

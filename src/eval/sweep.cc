@@ -4,6 +4,7 @@
 
 #include "circuits/registry.hh"
 #include "common/error.hh"
+#include "ir/passes.hh"
 #include "service/compiler_service.hh"
 
 namespace qompress {
@@ -15,6 +16,7 @@ struct SweepInstance
 {
     const std::string *family;
     int requestedSize;
+    int paramRow; ///< -1 when the sweep has no parameter grid
     Circuit circuit;
     Topology device;
 };
@@ -27,6 +29,8 @@ runSweep(const SweepSpec &spec)
     QFATAL_IF(spec.families.empty() || spec.sizes.empty() ||
               spec.strategies.empty(),
               "sweep needs families, sizes, and strategies");
+    for (const auto &row : spec.paramGrid)
+        QFATAL_IF(row.empty(), "sweep parameter grid has an empty row");
     auto make_device = spec.device
         ? spec.device
         : [](const Circuit &c) { return Topology::grid(c.numQubits()); };
@@ -47,8 +51,24 @@ runSweep(const SweepSpec &spec)
             if (!seen_sizes.insert(circuit.numQubits()).second)
                 continue;
             Topology device = make_device(circuit);
-            instances.push_back({&family_name, size, std::move(circuit),
-                                 std::move(device)});
+            if (spec.paramGrid.empty()) {
+                instances.push_back({&family_name, size, -1,
+                                     std::move(circuit),
+                                     std::move(device)});
+                continue;
+            }
+            // Parameter grid: one variant per row, rebinding the base
+            // instance's angles positionally. Variants share the base
+            // circuit's structure, so every row past the one that
+            // compiles first is a template-tier rebind, not a compile.
+            for (std::size_t row = 0; row < spec.paramGrid.size();
+                 ++row) {
+                instances.push_back({&family_name, size,
+                                     static_cast<int>(row),
+                                     bindParams(circuit,
+                                                spec.paramGrid[row]),
+                                     device});
+            }
         }
     }
 
@@ -82,8 +102,10 @@ runSweep(const SweepSpec &spec)
     ServiceOptions sopts;
     // A figure sweep has no duplicate cells, so cap the memo at the
     // grid size (duplicate specs across repeated runSweep calls are
-    // the caller's to memoize with a longer-lived service).
+    // the caller's to memoize with a longer-lived service). Templates
+    // sized likewise so an angle grid never thrashes its own tier.
     sopts.cacheCapacity = reqs.size();
+    sopts.templateCacheCapacity = reqs.size();
     const int want =
         spec.threads >= 0 ? spec.threads : spec.config.threads;
     CompilerService service(sopts);
@@ -95,6 +117,7 @@ runSweep(const SweepSpec &spec)
         rec.family = *cells[i].inst->family;
         rec.strategy = *cells[i].strategy;
         rec.requestedSize = cells[i].inst->requestedSize;
+        rec.paramRow = cells[i].inst->paramRow;
         try {
             const CompileArtifact res = handles[i].get();
             rec.qubits = cells[i].inst->circuit.numQubits();
@@ -106,6 +129,8 @@ runSweep(const SweepSpec &spec)
         }
         records[i] = std::move(rec);
     }
+    if (spec.serviceStats)
+        *spec.serviceStats = service.stats();
     return records;
 }
 

@@ -15,6 +15,7 @@
 
 #include "arch/topology.hh"
 #include "compiler/pipeline.hh"
+#include "service/compiler_service.hh"
 
 namespace qompress {
 
@@ -27,6 +28,8 @@ struct SweepRecord
     int qubits = 0;
     Metrics metrics;
     int numCompressions = 0;
+    /** Index into SweepSpec::paramGrid; -1 when no grid was given. */
+    int paramRow = -1;
 };
 
 /** Sweep configuration. */
@@ -47,6 +50,23 @@ struct SweepSpec
      * bit-identical at every lane count.
      */
     int threads = -1;
+
+    /**
+     * Optional parameter grid: when non-empty, every (family, size)
+     * instance is expanded into one variant per row, rebinding the
+     * circuit's rotation angles positionally (bindParams semantics:
+     * slot k takes row[k % row.size()]). All variants of an instance
+     * share one structural fingerprint, so rows after the first are
+     * served by the service's template tier (an O(gates) rebind) --
+     * this is the angle-sweep fast path. Rows with differing values
+     * produce distinct records tagged with SweepRecord::paramRow.
+     */
+    std::vector<std::vector<double>> paramGrid;
+
+    /** When set, receives a snapshot of the sweep-local service's
+     *  counters after the batch drains (template/exact hit rates --
+     *  how much of the grid was served without a full compile). */
+    ServiceStats *serviceStats = nullptr;
 };
 
 /**

@@ -1,5 +1,8 @@
 #include "ir/fingerprint.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace qompress {
 
 std::uint64_t
@@ -17,6 +20,41 @@ circuitFingerprint(const Circuit &c)
         fp.mixDouble(g.param);
     }
     return fp.value();
+}
+
+StructuralFingerprint
+structuralCircuitFingerprint(const Circuit &c)
+{
+    StructuralFingerprint out;
+    Fingerprinter fp;
+    fp.mixI32(c.numQubits());
+    fp.mixU64(static_cast<std::uint64_t>(c.numGates()));
+    int gi = 0;
+    for (const Gate &g : c.gates()) {
+        fp.mixI32(static_cast<std::int32_t>(g.type));
+        fp.mixI32(g.arity());
+        for (QubitId q : g.qubits)
+            fp.mixI32(q);
+        // Parameter VALUES are deliberately not mixed; whether a slot
+        // exists at this position is structural, so mix that bit.
+        const bool hasParam = gateHasParam(g.type);
+        fp.mixI32(hasParam ? 1 : 0);
+        if (hasParam)
+            out.paramGates.push_back(gi);
+        ++gi;
+    }
+    out.value = fp.value();
+    return out;
+}
+
+double
+canonicalQasmParam(double v)
+{
+    // Mirror Circuit::toQasm's parameter formatting (%.12g) exactly,
+    // then reparse: the result is the double parseQasm will produce.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return std::strtod(buf, nullptr);
 }
 
 } // namespace qompress

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "ir/circuit.hh"
 
@@ -84,6 +85,52 @@ class Fingerprinter
  * sensitive to any gate, operand, parameter, name, or width change.
  */
 std::uint64_t circuitFingerprint(const Circuit &c);
+
+/**
+ * Structural identity of a circuit: everything circuitFingerprint
+ * covers EXCEPT parameter values and the name.
+ *
+ * Two circuits with equal structural fingerprints have the same width
+ * and the same gate sequence (types and operands) and differ at most
+ * in rotation angles (and name). Because no stage of the compile
+ * pipeline branches on parameter values -- gates are priced by
+ * physical class, mapping/routing read only types and operands --
+ * such circuits compile to CompileResults that differ only in the
+ * parameters carried on the physical gates. That property is what
+ * makes the service's template tier sound: a CompiledTemplate built
+ * from one member of the structural class can be rebound to any other
+ * member (see compiler/rebind.hh).
+ *
+ * paramGates lists, in program order, the indices of the gates that
+ * carry a parameter (gateHasParam(type)). Its length is the number of
+ * parameter slots a template for this structure exposes; slot k binds
+ * the parameter of gate paramGates[k]. Note the slot order is defined
+ * over the INPUT circuit's program order; the rebind pass relies on
+ * decomposeToNativeGates preserving the relative order of
+ * parameterized gates (it introduces none and reorders nothing).
+ */
+struct StructuralFingerprint
+{
+    std::uint64_t value = 0;
+
+    /** Input-gate indices carrying a parameter, in program order. */
+    std::vector<int> paramGates;
+};
+
+StructuralFingerprint structuralCircuitFingerprint(const Circuit &c);
+
+/**
+ * Snap a parameter to the value that survives a QASM dump/parse round
+ * trip (Circuit::toQasm prints parameters at %.12g).
+ *
+ * circuitFingerprint hashes raw IEEE-754 bits, so a circuit built with
+ * an angle that does NOT survive %.12g fingerprints differently after
+ * parseQasm(c.toQasm()) -- the memo cache treats the reparse as a new
+ * circuit. Building circuits with canonicalQasmParam'd angles makes
+ * dump/parse round trips fingerprint-stable. (The compile pipeline
+ * itself is indifferent: parameters are carried through, never read.)
+ */
+double canonicalQasmParam(double v);
 
 } // namespace qompress
 

@@ -192,6 +192,21 @@ decomposeSwaps(const Circuit &in)
 }
 
 Circuit
+bindParams(const Circuit &in, const std::vector<double> &values)
+{
+    QPANIC_IF(values.empty(), "bindParams: empty value vector");
+    Circuit out(in.numQubits(), in.name());
+    std::size_t k = 0;
+    for (const auto &g : in.gates()) {
+        Gate ng = g;
+        if (gateHasParam(g.type))
+            ng.param = values[k++ % values.size()];
+        out.add(ng);
+    }
+    return out;
+}
+
+Circuit
 optimizeCircuit(const Circuit &in)
 {
     Circuit cur = in;

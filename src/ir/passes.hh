@@ -39,6 +39,17 @@ Circuit mergeRotations(const Circuit &in);
 Circuit decomposeSwaps(const Circuit &in);
 
 /**
+ * Rebind the circuit's rotation angles positionally: the k-th
+ * parameterized gate (program order) gets values[k % values.size()],
+ * cycling when the circuit exposes more slots than values. Structure,
+ * operands, and name are untouched, so the result shares the input's
+ * structural fingerprint -- this is how parameterized sweeps
+ * materialize instances that hit the service's template tier. Panics
+ * on an empty values vector.
+ */
+Circuit bindParams(const Circuit &in, const std::vector<double> &values);
+
+/**
  * Fixpoint cleanup: cancelAdjacentPairs + mergeRotations until the
  * gate count stops shrinking.
  */

@@ -244,9 +244,18 @@ CompilerService::compileImpl(const CompileRequest &req)
     cf.mixU64(key.cfg);
     const std::uint64_t ctx_fp = cf.value();
 
+    // Template eligibility and the structural key are resolved lazily,
+    // on the exact-miss path only: an exact hit (the dominant warm
+    // case) must not pay the O(gates) structural walk.
+    const bool tier_on =
+        opts_.templateCacheCapacity > 0 && !req.fullCompile;
+    bool tmpl_eligible = false;
+    RequestKey tkey;
+
     std::promise<CompileArtifact> prom;
     std::shared_future<CompileArtifact> wait_on;
     bool memo = false;
+    TemplatePtr tmpl;
     {
         std::lock_guard<std::mutex> lk(mu_);
         ++requests_;
@@ -264,12 +273,40 @@ CompilerService::compileImpl(const CompileRequest &req)
                 // (outside the lock) instead of compiling twice.
                 ++coalesced_;
                 wait_on = jt->second;
+            }
+        }
+        if (!wait_on.valid()) {
+            // This request will produce the artifact itself -- by
+            // rebinding a cached template when one matches the
+            // circuit's structure, else by a full compile. Only
+            // parameterized circuits enter the tier (for a fixed
+            // circuit -- BV, QFT-like structures -- the exact tier
+            // already covers every repeat, so the structural walk is
+            // skipped entirely).
+            tmpl_eligible =
+                tier_on &&
+                std::any_of(
+                    circuit->gates().begin(), circuit->gates().end(),
+                    [](const Gate &g) { return gateHasParam(g.type); });
+            if (tmpl_eligible) {
+                tkey = key;
+                tkey.circuit =
+                    structuralCircuitFingerprint(*circuit).value;
+                auto tt = templateIndex_.find(tkey);
+                if (tt != templateIndex_.end()) {
+                    ++templateHits_;
+                    templateLru_.splice(templateLru_.begin(),
+                                        templateLru_, tt->second);
+                    tmpl = tt->second->second;
+                } else {
+                    ++templateMisses_;
+                    ++misses_;
+                }
             } else {
-                inflight_.emplace(key, prom.get_future().share());
                 ++misses_;
             }
-        } else {
-            ++misses_;
+            if (memo)
+                inflight_.emplace(key, prom.get_future().share());
         }
     }
     if (wait_on.valid())
@@ -277,7 +314,14 @@ CompilerService::compileImpl(const CompileRequest &req)
 
     CompileArtifact artifact;
     try {
-        artifact = compileUncached(req, *circuit, ctx_fp);
+        if (tmpl) {
+            // O(gates) path: substitute this instance's angles into
+            // the template's compiled structure and re-price.
+            artifact = std::make_shared<const CompileResult>(
+                rebindTemplate(*tmpl, *circuit, req.library));
+        } else {
+            artifact = compileUncached(req, *circuit, ctx_fp);
+        }
     } catch (...) {
         if (memo) {
             std::lock_guard<std::mutex> lk(mu_);
@@ -286,13 +330,34 @@ CompilerService::compileImpl(const CompileRequest &req)
         }
         throw;
     }
-    if (memo) {
+
+    // Extract a template from a successful full compile of an eligible
+    // request (outside the lock: the binding walk is O(gates)).
+    TemplatePtr fresh;
+    if (tmpl_eligible && !tmpl)
+        fresh = std::make_shared<const CompiledTemplate>(
+            makeTemplate(artifact, *circuit));
+
+    {
         std::lock_guard<std::mutex> lk(mu_);
-        lru_.emplace_front(key, artifact);
-        index_[key] = lru_.begin();
-        evictOverCapacityLocked();
-        prom.set_value(artifact);
-        inflight_.erase(key);
+        if (fresh && !templateIndex_.count(tkey)) {
+            // Keep-first on a racing extraction: templates of the same
+            // structure are interchangeable, so the loser is dropped.
+            templateLru_.emplace_front(tkey, std::move(fresh));
+            templateIndex_[tkey] = templateLru_.begin();
+            while (templateLru_.size() > opts_.templateCacheCapacity) {
+                templateIndex_.erase(templateLru_.back().first);
+                templateLru_.pop_back();
+                ++templateEvictions_;
+            }
+        }
+        if (memo) {
+            lru_.emplace_front(key, artifact);
+            index_[key] = lru_.begin();
+            evictOverCapacityLocked();
+            prom.set_value(artifact);
+            inflight_.erase(key);
+        }
     }
     return artifact;
 }
@@ -382,6 +447,11 @@ CompilerService::stats() const
     s.contextsCreated = contextsCreated_;
     s.contextsReused = contextsReused_;
     s.pooledContexts = idle_.size();
+    s.templateHits = templateHits_;
+    s.templateMisses = templateMisses_;
+    s.templateEvictions = templateEvictions_;
+    s.templateSize = templateLru_.size();
+    s.templateCapacity = opts_.templateCacheCapacity;
     return s;
 }
 
@@ -392,6 +462,8 @@ CompilerService::clearCache()
     lru_.clear();
     index_.clear();
     idle_.clear();
+    templateLru_.clear();
+    templateIndex_.clear();
     // In-flight compiles keep their local promises; entries left in
     // inflight_ are owned by running compiles and expire when they
     // finish. Artifacts already handed out stay alive through their

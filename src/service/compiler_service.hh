@@ -19,6 +19,14 @@
  *    pattern in evaluation grids, which re-compile the same
  *    circuit x topology x strategy cells over and over -- are served
  *    without recompiling.
+ *  - A template tier next to it: a second LRU keyed by the STRUCTURAL
+ *    circuit fingerprint (parameter values canonicalized out; see
+ *    ir/fingerprint.hh) holding CompiledTemplates (compiler/rebind.hh).
+ *    A request that misses the exact tier but matches a template --
+ *    same structure, different rotation angles, the shape of every
+ *    parameterized sweep -- is served by the O(gates) rebind pass
+ *    instead of a full compile, with its own hit/miss/eviction
+ *    counters. CompileRequest::fullCompile opts a request out.
  *  - A context pool: reusable CompileContexts keyed by the
  *    topology/library/config fingerprint, so distance fields warmed by
  *    one request survive into the next (across requests, not just
@@ -55,6 +63,7 @@
 
 #include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
+#include "compiler/rebind.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
@@ -100,6 +109,13 @@ struct CompileRequest
     std::optional<Circuit> circuit;
     std::string family; ///< registry family name (see circuits/registry.hh)
     int size = 0;       ///< registry qubit budget
+
+    /** Bypass the template tier for this request: neither serve a
+     *  rebind nor extract a template from the result. The exact
+     *  memo tier still applies. (Rebinds are bit-identical to full
+     *  compiles, so this is a measurement/debugging knob, not a
+     *  correctness one.) */
+    bool fullCompile = false;
 
     /** Request for an explicit circuit. */
     static CompileRequest forCircuit(Circuit c, Topology topo,
@@ -157,6 +173,11 @@ struct ServiceOptions
      *  (every request compiles). */
     std::size_t cacheCapacity = 256;
 
+    /** Template-tier LRU capacity in entries; 0 disables the tier
+     *  (no rebinds, no template extraction). Independent of
+     *  cacheCapacity: templates cover exact-tier NEAR-misses. */
+    std::size_t templateCacheCapacity = 128;
+
     /** Max idle CompileContexts kept warm across requests; 0 disables
      *  pooling (every compile builds a cold context). */
     std::size_t contextPoolCapacity = 8;
@@ -175,11 +196,25 @@ struct ServiceStats
 {
     std::uint64_t requests = 0;    ///< total requests processed
     std::uint64_t hits = 0;        ///< artifacts served from the memo cache
-    std::uint64_t misses = 0;      ///< requests that ran a compile
+    std::uint64_t misses = 0;      ///< requests that ran a full compile
     std::uint64_t coalesced = 0;   ///< waited on an identical in-flight compile
     std::uint64_t evictions = 0;   ///< LRU entries dropped over capacity
     std::size_t cacheSize = 0;     ///< resident memo entries
     std::size_t cacheCapacity = 0; ///< current capacity knob
+
+    /** @name Template tier
+     * Requests partition as requests == hits + templateHits + misses +
+     * coalesced: a template hit is an exact-tier miss served by rebind
+     * instead of a compile. templateMisses counts eligible requests
+     * (parameterized circuit, tier enabled, not fullCompile) that
+     * found no template and fell through to a full compile -- a subset
+     * of misses, kept separate so sweep warm-up cost is visible. @{ */
+    std::uint64_t templateHits = 0;      ///< served by parameter rebind
+    std::uint64_t templateMisses = 0;    ///< eligible but no template yet
+    std::uint64_t templateEvictions = 0; ///< template LRU drops
+    std::size_t templateSize = 0;        ///< resident templates
+    std::size_t templateCapacity = 0;    ///< current tier capacity
+    /** @} */
     std::uint64_t contextsCreated = 0; ///< cold CompileContext builds
     std::uint64_t contextsReused = 0;  ///< warm contexts served from the pool
     std::size_t pooledContexts = 0;    ///< idle contexts currently pooled
@@ -280,6 +315,12 @@ class CompilerService
 
     using LruEntry = std::pair<RequestKey, CompileArtifact>;
 
+    /** Template-tier entry. The key reuses RequestKey with the
+     *  `circuit` field holding the STRUCTURAL fingerprint instead of
+     *  the exact one -- same non-circuit components, same hash. */
+    using TemplatePtr = std::shared_ptr<const CompiledTemplate>;
+    using TemplateEntry = std::pair<RequestKey, TemplatePtr>;
+
     CompileArtifact compileImpl(const CompileRequest &req);
     CompileArtifact compileUncached(const CompileRequest &req,
                                     const Circuit &circuit,
@@ -307,11 +348,19 @@ class CompilerService
         inflight_;
     std::vector<std::unique_ptr<PooledContext>> idle_;
 
+    std::list<TemplateEntry> templateLru_; ///< front = most recently used
+    std::unordered_map<RequestKey, std::list<TemplateEntry>::iterator,
+                       RequestKeyHash>
+        templateIndex_;
+
     std::uint64_t requests_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t coalesced_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t templateHits_ = 0;
+    std::uint64_t templateMisses_ = 0;
+    std::uint64_t templateEvictions_ = 0;
     std::uint64_t contextsCreated_ = 0;
     std::uint64_t contextsReused_ = 0;
 

@@ -14,6 +14,12 @@ portfolioServiceOptions()
     // distinct requests; the pool keeps one warm context per member's
     // pricing configuration (they usually share one).
     opts.cacheCapacity = 64;
+    // Members inherit the template tier too: a portfolio driven down
+    // an angle sweep full-compiles each member once, then every later
+    // instance is a per-member rebind (winner selection reads metrics,
+    // which rebind reproduces bit-identically, so the winning member
+    // never changes from what full compiles would pick).
+    opts.templateCacheCapacity = 64;
     opts.contextPoolCapacity = 8;
     opts.threads = 0; // overridden per compile by cfg.threads
     return opts;

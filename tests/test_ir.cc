@@ -279,6 +279,142 @@ TEST(CircuitFingerprint, SensitiveToEveryContentChange)
     }
 }
 
+TEST(CircuitFingerprint, CanonicalParamSurvivesQasmRoundTrip)
+{
+    // toQasm prints parameters at %.12g, so an angle with more
+    // significant digits fingerprints differently after a dump/parse
+    // round trip -- the documented caveat. canonicalQasmParam snaps an
+    // angle to its %.12g representative, making round trips stable.
+    const double raw = 0.1234567890123456789; // > 12 significant digits
+    Circuit lossy(1, "rt");
+    lossy.rz(raw, 0);
+    const Circuit lossy_rt = parseQasm(lossy.toQasm(), lossy.name());
+    EXPECT_NE(circuitFingerprint(lossy), circuitFingerprint(lossy_rt));
+
+    Circuit canon(1, "rt");
+    canon.rz(canonicalQasmParam(raw), 0);
+    const Circuit canon_rt = parseQasm(canon.toQasm(), canon.name());
+    EXPECT_EQ(circuitFingerprint(canon), circuitFingerprint(canon_rt));
+
+    // Snapping is idempotent and exact for representable values.
+    EXPECT_EQ(canonicalQasmParam(canonicalQasmParam(raw)),
+              canonicalQasmParam(raw));
+    EXPECT_EQ(canonicalQasmParam(0.5), 0.5);
+}
+
+// ------------------------------------------------------------------
+// Structural fingerprint (the template tier's identity)
+// ------------------------------------------------------------------
+
+TEST(StructuralFingerprint, InvariantToParameterValuesAndName)
+{
+    const Circuit base = fingerprintFixture();
+    const auto sfp = structuralCircuitFingerprint(base);
+
+    { // any parameter change preserves the structural fp
+        Circuit c(3, "fp_fixture");
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(-2.75, 2); // was rz(0.5)
+        c.ccx(0, 1, 2);
+        EXPECT_EQ(structuralCircuitFingerprint(c).value, sfp.value);
+        EXPECT_EQ(structuralCircuitFingerprint(c).paramGates,
+                  sfp.paramGates);
+    }
+    { // ... including the sign of zero
+        Circuit pos(1, "z"), neg(1, "z");
+        pos.rz(0.0, 0);
+        neg.rz(-0.0, 0);
+        EXPECT_EQ(structuralCircuitFingerprint(pos).value,
+                  structuralCircuitFingerprint(neg).value);
+    }
+    { // the name is not structure (rebind stamps the instance's name)
+        Circuit c = fingerprintFixture();
+        c.setName("renamed");
+        EXPECT_EQ(structuralCircuitFingerprint(c).value, sfp.value);
+    }
+    // The exact fingerprint still distinguishes what the structural
+    // one identifies (the two tiers key different things).
+    Circuit other(3, "fp_fixture");
+    other.h(0);
+    other.cx(0, 1);
+    other.rz(1.25, 2);
+    other.ccx(0, 1, 2);
+    EXPECT_NE(circuitFingerprint(other), circuitFingerprint(base));
+}
+
+TEST(StructuralFingerprint, SensitiveToEveryStructuralChange)
+{
+    const Circuit base = fingerprintFixture();
+    const std::uint64_t fp = structuralCircuitFingerprint(base).value;
+
+    { // gate type
+        Circuit c(3, "fp_fixture");
+        c.x(0); // was h
+        c.cx(0, 1);
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+    { // parameterized gate type (same slot layout, different axis)
+        Circuit c(3, "fp_fixture");
+        c.h(0);
+        c.cx(0, 1);
+        c.rx(0.5, 2); // was rz
+        c.ccx(0, 1, 2);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+    { // operand order
+        Circuit c(3, "fp_fixture");
+        c.h(0);
+        c.cx(1, 0); // was cx(0, 1)
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+    { // appended gate
+        Circuit c = fingerprintFixture();
+        c.x(0);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+    { // gate order
+        Circuit c(3, "fp_fixture");
+        c.cx(0, 1);
+        c.h(0); // swapped with the cx
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+    { // width
+        Circuit c(4, "fp_fixture");
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(0.5, 2);
+        c.ccx(0, 1, 2);
+        EXPECT_NE(structuralCircuitFingerprint(c).value, fp);
+    }
+}
+
+TEST(StructuralFingerprint, ParamGatesListsSlotsInProgramOrder)
+{
+    Circuit c(3, "slots");
+    c.h(0);           // no slot
+    c.rz(0.1, 0);     // slot 0 -> gate 1
+    c.cx(0, 1);       // no slot
+    c.rx(0.2, 1);     // slot 1 -> gate 3
+    c.ry(0.3, 2);     // slot 2 -> gate 4
+    const auto sfp = structuralCircuitFingerprint(c);
+    const std::vector<int> want{1, 3, 4};
+    EXPECT_EQ(sfp.paramGates, want);
+
+    // An unparameterized circuit exposes no slots.
+    Circuit plain(2, "plain");
+    plain.h(0);
+    plain.cx(0, 1);
+    EXPECT_TRUE(
+        structuralCircuitFingerprint(plain).paramGates.empty());
+}
+
 TEST(CircuitFingerprint, NoCollisionsAcrossTheRegistry)
 {
     // Every registry family at several sizes: all distinct circuits

@@ -39,6 +39,7 @@ samePhysGates(const CompiledCircuit &a, const CompiledCircuit &b)
             x.logical != y.logical || x.logical2 != y.logical2 ||
             x.param != y.param || x.param2 != y.param2 ||
             x.isRouting != y.isRouting || x.sourceGate != y.sourceGate ||
+            x.sourceGate2 != y.sourceGate2 ||
             x.start != y.start || x.duration != y.duration ||
             x.fidelity != y.fidelity)
             return false;

@@ -30,7 +30,30 @@ cross-host default.
 """
 
 import json
+import math
 import sys
+
+
+def geomean_speedups(base, cand, shared):
+    """Geometric-mean speedup (baseline/candidate, >1 = candidate is
+    faster) of the shared *_ms metrics, grouped by section prefix (the
+    leading token before the first underscore: service_warm_t1_ms and
+    service_cold_t1_ms both fold into "service"). One line per section
+    makes a whole family's win/regression readable at a glance in CI
+    logs without scanning the per-metric table."""
+    groups = {}
+    for key in shared:
+        if not key.endswith("_ms"):
+            continue
+        b, c = base[key], cand[key]
+        if b <= 0 or c <= 0:
+            continue
+        groups.setdefault(key.split("_", 1)[0], []).append(b / c)
+    return {
+        section: (math.exp(sum(math.log(r) for r in ratios)
+                           / len(ratios)), len(ratios))
+        for section, ratios in sorted(groups.items())
+    }
 
 
 def load_doc(path):
@@ -152,6 +175,14 @@ def main(argv):
     if added or removed:
         print(f"\n{len(added)} added, {len(removed)} removed "
               "(not gated)")
+
+    speedups = geomean_speedups(base, cand, shared)
+    if speedups:
+        print("\ngeomean speedup per section "
+              "(baseline/candidate, >1 = candidate faster):")
+        for section, (speedup, n) in speedups.items():
+            print(f"  {section}: {speedup:.3f}x "
+                  f"({n} timing{'s' if n != 1 else ''})")
 
     if regressions:
         print(f"\n{len(regressions)} timing regression(s): "
