@@ -12,6 +12,18 @@ namespace qompress {
 
 namespace {
 
+/** Hard ceilings on untrusted numeric input. The parser is the front
+ *  door for network traffic (qompressd feeds request bodies straight
+ *  into parseQasm), so integer literals and register sizes are bounded
+ *  long before they can overflow an int or size an allocation. */
+constexpr long long kMaxIntLiteral = 1'000'000'000;
+constexpr int kMaxQregSize = 100'000;
+
+/** Expression-nesting ceiling: the recursive-descent evaluator must
+ *  turn a pathological `((((...))))` bomb into a FatalError before it
+ *  can exhaust the stack (a crash the server cannot map to a 4xx). */
+constexpr int kMaxExprDepth = 64;
+
 /** Cursor over the source with line tracking for error messages. */
 class Lexer
 {
@@ -70,12 +82,16 @@ class Lexer
         QFATAL_IF(pos_ >= text_.size() ||
                   !std::isdigit(static_cast<unsigned char>(text_[pos_])),
                   "qasm line ", line_, ": expected integer");
-        int v = 0;
+        // Accumulate wide and bound every step: `qreg q[99999999999999]`
+        // must be a FatalError, not signed-int-overflow UB.
+        long long v = 0;
         while (pos_ < text_.size() &&
                std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
             v = v * 10 + (advance() - '0');
+            QFATAL_IF(v > kMaxIntLiteral, "qasm line ", line_,
+                      ": integer literal exceeds ", kMaxIntLiteral);
         }
-        return v;
+        return static_cast<int>(v);
     }
 
     double
@@ -95,8 +111,17 @@ class Lexer
         const std::string tok = text_.substr(pos_, end - pos_);
         while (pos_ < end)
             advance();
+        // stod() happily parses a prefix ("1.2.3" -> 1.2) or throws a
+        // context-free exception ("1e"); demand full-token consumption
+        // so malformed literals fail loudly with the line number.
         try {
-            return std::stod(tok);
+            std::size_t consumed = 0;
+            const double v = std::stod(tok, &consumed);
+            QFATAL_IF(consumed != tok.size(), "qasm line ", line_,
+                      ": bad number '", tok, "'");
+            return v;
+        } catch (const FatalError &) {
+            throw;
         } catch (const std::exception &) {
             QFATAL("qasm line ", line_, ": bad number '", tok, "'");
         }
@@ -191,6 +216,14 @@ class ExprParser
     double
     unary()
     {
+        QFATAL_IF(++depth_ > kMaxExprDepth, "qasm line ", lex_.line(),
+                  ": parameter expression nested deeper than ",
+                  kMaxExprDepth);
+        struct Unwind
+        {
+            int &d;
+            ~Unwind() { --d; }
+        } unwind{depth_};
         if (lex_.peek() == '-') {
             lex_.get();
             return -unary();
@@ -215,6 +248,7 @@ class ExprParser
     }
 
     Lexer &lex_;
+    int depth_ = 0;
 };
 
 const std::map<std::string, GateType> &
@@ -241,11 +275,14 @@ parseQasm(const std::string &text, const std::string &name)
 {
     Lexer lex(text);
 
-    // Header: OPENQASM <ver>; (optional) include "...";
+    // Header: OPENQASM 2.0; (optional) include "...";
     std::string first = lex.identifier();
     QFATAL_IF(first != "OPENQASM", "qasm line ", lex.line(),
               ": expected OPENQASM header, got '", first, "'");
-    lex.skipStatement();
+    const double version = lex.number();
+    QFATAL_IF(version != 2.0, "qasm line ", lex.line(),
+              ": unsupported OPENQASM version (only 2.0)");
+    lex.expect(';');
 
     std::string qreg_name;
     int num_qubits = -1;
@@ -268,6 +305,9 @@ parseQasm(const std::string &text, const std::string &name)
             lex.expect(';');
             QFATAL_IF(num_qubits < 1, "qasm line ", lex.line(),
                       ": empty qreg");
+            QFATAL_IF(num_qubits > kMaxQregSize, "qasm line ",
+                      lex.line(), ": qreg size ", num_qubits,
+                      " exceeds the supported maximum ", kMaxQregSize);
             continue;
         }
 
@@ -301,6 +341,14 @@ parseQasm(const std::string &text, const std::string &name)
             lex.expect(']');
             QFATAL_IF(q >= num_qubits, "qasm line ", lex.line(),
                       ": qubit index ", q, " out of range");
+            // A gate may not name the same qubit twice (`cx q[0],q[0]`
+            // is not unitary over distinct wires); catching it here
+            // keeps invalid gates out of every downstream pass.
+            for (const QubitId prev : g.qubits) {
+                QFATAL_IF(prev == q, "qasm line ", lex.line(),
+                          ": duplicate qubit operand q[", q, "] in '",
+                          word, "'");
+            }
             g.qubits.push_back(q);
         }
         lex.expect(';');

@@ -1,0 +1,93 @@
+#include "server/histogram.hh"
+
+#include <cmath>
+
+namespace qompress {
+
+namespace {
+
+// Geometric bucket growth: 128 buckets from 1 us spanning seven
+// decades (1.134^127 ~= 8.6e6, i.e. ~8.6 s) at ~13% resolution.
+constexpr double kGrowth = 1.134;
+
+} // namespace
+
+int
+LatencyHistogram::bucketOf(double us)
+{
+    if (us <= 1.0)
+        return 0;
+    const int b = static_cast<int>(std::log(us) / std::log(kGrowth)) + 1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+double
+LatencyHistogram::bucketMidUs(int bucket)
+{
+    if (bucket <= 0)
+        return 1.0;
+    // Geometric midpoint of [growth^(b-1), growth^b).
+    return std::pow(kGrowth, bucket - 0.5);
+}
+
+void
+LatencyHistogram::record(double us)
+{
+    if (us < 0.0)
+        us = 0.0;
+    buckets_[bucketOf(us)].fetch_add(1, std::memory_order_relaxed);
+    sumUs_.fetch_add(static_cast<std::uint64_t>(us),
+                     std::memory_order_relaxed);
+    std::uint64_t v = static_cast<std::uint64_t>(us);
+    std::uint64_t cur = maxUs_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !maxUs_.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+double
+LatencyHistogram::Snapshot::quantileUs(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-quantile sample, 1-based, then scan buckets.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return LatencyHistogram::bucketMidUs(b);
+    }
+    return LatencyHistogram::bucketMidUs(LatencyHistogram::kBuckets - 1);
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot s;
+    // Count is the bucket sum, not count_, so quantile scans over the
+    // captured buckets are self-consistent even when record() calls
+    // race the snapshot.
+    for (int b = 0; b < kBuckets; ++b) {
+        s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+        s.count += s.buckets[b];
+    }
+    if (s.count > 0) {
+        s.mean_us =
+            static_cast<double>(sumUs_.load(std::memory_order_relaxed)) /
+            static_cast<double>(s.count);
+    }
+    s.max_us =
+        static_cast<double>(maxUs_.load(std::memory_order_relaxed));
+    s.p50_us = s.quantileUs(0.50);
+    s.p99_us = s.quantileUs(0.99);
+    return s;
+}
+
+} // namespace qompress

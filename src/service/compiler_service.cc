@@ -135,6 +135,12 @@ CompilerService::~CompilerService()
     // has run before members are torn down. (Service-owned pools_
     // would drain their tasks on join anyway; the global pool is the
     // case this wait exists for.)
+    drain();
+}
+
+void
+CompilerService::drain()
+{
     std::unique_lock<std::mutex> lk(pendingMu_);
     pendingCv_.wait(lk, [this] { return pending_ == 0; });
 }

@@ -257,6 +257,16 @@ class CompilerService
 
     ServiceStats stats() const;
 
+    /**
+     * Block until every submitted-but-unfinished request has run
+     * (successfully or not). Submissions arriving during the wait
+     * extend it; callers that want a terminal drain (the qompressd
+     * shutdown path) must stop submitting first. The destructor calls
+     * this, so drain() is the reusable half of the "handles are ready
+     * by destruction" guarantee.
+     */
+    void drain();
+
     /** Drop all memoized artifacts and pooled contexts (counters are
      *  retained). */
     void clearCache();

@@ -8,6 +8,8 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "circuits/registry.hh"
 #include "common/error.hh"
@@ -50,6 +52,37 @@ TEST(Circuit, BuildersAndValidation)
     EXPECT_EQ(c.numTwoQubitGates(), 1);
     EXPECT_THROW(c.cx(0, 0), PanicError);   // duplicate operand
     EXPECT_THROW(c.x(5), PanicError);       // out of range
+}
+
+TEST(Circuit, DuplicateOperandFromQasmIsFatalNotPanic)
+{
+    // Regression: `cx q[0],q[0]` arriving as untrusted QASM used to
+    // sail past the parser and trip Circuit::add's QPANIC — the
+    // internal-bug error class (a 500 at the server), not the
+    // bad-input class. The parser must reject it as a FatalError
+    // naming the line, for every multi-qubit gate shape.
+    const std::vector<std::string> dup = {
+        "OPENQASM 2.0;\nqreg q[3];\ncx q[0],q[0];",
+        "OPENQASM 2.0;\nqreg q[3];\ncz q[2],q[2];",
+        "OPENQASM 2.0;\nqreg q[3];\nswap q[1],q[1];",
+        "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[0];",
+        "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[1];",
+    };
+    for (const std::string &src : dup) {
+        try {
+            parseQasm(src);
+            FAIL() << "expected FatalError for: " << src;
+        } catch (const FatalError &e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("duplicate qubit operand"),
+                      std::string::npos) << msg;
+            EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        }
+    }
+    // Distinct operands still parse.
+    const Circuit ok =
+        parseQasm("OPENQASM 2.0; qreg q[2]; cx q[0],q[1];");
+    EXPECT_EQ(ok.numGates(), 1);
 }
 
 TEST(Circuit, AsapLayersAndDepth)

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "circuits/arithmetic.hh"
 #include "circuits/registry.hh"
@@ -139,6 +141,130 @@ TEST(Qasm, RoundTripThroughDump)
 TEST(Qasm, FileNotFound)
 {
     EXPECT_THROW(parseQasmFile("/nonexistent/file.qasm"), FatalError);
+}
+
+// ------------------------------------------------------------------
+// Lexer bugfix regressions: these inputs used to hit undefined
+// behavior or be silently mis-accepted. Each must now be a FatalError
+// naming the offending line.
+// ------------------------------------------------------------------
+
+/** Expect parseQasm(@p src) to throw FatalError (never PanicError or
+ *  anything else) and return its message. */
+std::string
+expectFatal(const std::string &src)
+{
+    try {
+        parseQasm(src);
+    } catch (const FatalError &e) {
+        return e.what();
+    } catch (const PanicError &e) {
+        ADD_FAILURE() << "PanicError escaped for input: " << src
+                      << "\n  " << e.what();
+        return "";
+    } catch (const std::exception &e) {
+        ADD_FAILURE() << "non-Fatal exception for input: " << src
+                      << "\n  " << e.what();
+        return "";
+    }
+    ADD_FAILURE() << "no error for input: " << src;
+    return "";
+}
+
+TEST(QasmBugfix, IntegerLiteralOverflowIsFatalNotUB)
+{
+    // Used to accumulate into int with signed-overflow UB; now capped
+    // with a checked wide accumulator.
+    const std::string msg =
+        expectFatal("OPENQASM 2.0;\nqreg q[99999999999999];\nx q[0];");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("integer literal"), std::string::npos) << msg;
+    // Same guard on qubit indices.
+    expectFatal("OPENQASM 2.0; qreg q[2]; x q[99999999999999];");
+    // A 10-digit value just past the cap is also rejected...
+    expectFatal("OPENQASM 2.0; qreg q[2000000000]; x q[0];");
+    // ...while the cap itself still lexes (then fails the qreg-size
+    // check, not the literal check).
+    const std::string capMsg =
+        expectFatal("OPENQASM 2.0; qreg q[1000000000]; x q[0];");
+    EXPECT_EQ(capMsg.find("integer literal"), std::string::npos)
+        << capMsg;
+}
+
+TEST(QasmBugfix, TrailingGarbageNumbersAreFatalNotTruncated)
+{
+    // stod used to parse the "1.2" prefix of "1.2.3" and the lexer
+    // dropped the rest; now the whole token must be consumed.
+    const std::string msg = expectFatal(
+        "OPENQASM 2.0;\nqreg q[1];\nrz(1.2.3) q[0];");
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1.2.3"), std::string::npos) << msg;
+    // Incomplete exponent: stod throws, surfaced as the same error.
+    expectFatal("OPENQASM 2.0; qreg q[1]; rz(1e) q[0];");
+    expectFatal("OPENQASM 2.0; qreg q[1]; rz(1.2e+) q[0];");
+    // Well-formed scientific notation still parses.
+    const Circuit ok = parseQasm(
+        "OPENQASM 2.0; qreg q[1]; rz(1.25e-2) q[0];");
+    EXPECT_DOUBLE_EQ(ok.gates()[0].param, 1.25e-2);
+}
+
+TEST(QasmBugfix, DuplicateQubitOperandIsFatal)
+{
+    const std::string msg = expectFatal(
+        "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];");
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate qubit operand"), std::string::npos)
+        << msg;
+    expectFatal("OPENQASM 2.0; qreg q[3]; ccx q[1],q[2],q[1];");
+    expectFatal("OPENQASM 2.0; qreg q[3]; swap q[2],q[2];");
+}
+
+// ------------------------------------------------------------------
+// Adversarial inputs: the parser fronts untrusted network bodies via
+// qompressd, so every hostile shape must fail closed as FatalError --
+// never a PanicError (internal-bug class), never a crash.
+// ------------------------------------------------------------------
+
+TEST(QasmAdversarial, HostileInputsAlwaysFailAsFatalError)
+{
+    const std::vector<std::string> hostile = {
+        "",                                     // empty body
+        "OPENQASM",                             // truncated header
+        "OPENQASM 3.0; qreg q[2];",             // wrong version
+        "OPENQASM 2.0;",                        // no qreg, no gates
+        "OPENQASM 2.0; qreg q[2]; cx q[0],",    // truncated operands
+        "OPENQASM 2.0; qreg q[2]; cx q[0]",     // missing semicolon
+        "OPENQASM 2.0; qreg q[2]; cx q[0],q[1]",// EOF inside statement
+        "OPENQASM 2.0; qreg q[2]; rz( q[0];",   // unterminated expr
+        "OPENQASM 2.0; qreg q[",                // EOF inside index
+        "OPENQASM 2.0; qreg q[2]; h p[0];",     // unknown register
+        "OPENQASM 2.0; h q[0]; qreg q[2];",     // gate before qreg
+        "OPENQASM 2.0; qreg q[200000]; x q[0];",// oversized qreg
+        "OPENQASM 2.0; qreg q[0];",             // empty qreg
+        "OPENQASM 2.0; qreg q[-3];",            // negative qreg
+        "OPENQASM 2.0; qreg q[2]; x q[-1];",    // negative index
+        "OPENQASM 2.0; qreg q[1]; rz(nonsense) q[0];",
+        "OPENQASM 2.0; qreg q[1]; rz(1/0) q[0];",   // division by zero
+        "OPENQASM 2.0; qreg q[1]; rz(1,2) q[0];",   // two params
+        "\xff\xfe garbage \x00 bytes",              // binary noise
+    };
+    for (const std::string &src : hostile)
+        expectFatal(src);
+}
+
+TEST(QasmAdversarial, DeepParenNestingIsBoundedNotStackOverflow)
+{
+    // The recursive-descent expression parser caps nesting depth; a
+    // parenthesis bomb must be a FatalError, not exhausted stack.
+    const std::string bomb = "OPENQASM 2.0; qreg q[1]; rz(" +
+                             std::string(5000, '(') + "1" +
+                             std::string(5000, ')') + ") q[0];";
+    const std::string msg = expectFatal(bomb);
+    EXPECT_NE(msg.find("nest"), std::string::npos) << msg;
+    // Reasonable nesting still works.
+    const Circuit ok = parseQasm("OPENQASM 2.0; qreg q[1]; rz(((((1 + "
+                                 "2)))))  q[0];");
+    EXPECT_DOUBLE_EQ(ok.gates()[0].param, 3.0);
 }
 
 } // namespace

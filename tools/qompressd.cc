@@ -1,0 +1,147 @@
+/**
+ * @file
+ * qompressd: the Qompress compile server (see src/server/server.hh).
+ *
+ *   qompressd [options]
+ *
+ * Options:
+ *   --port=N            listen port (default 8080; 0 = ephemeral,
+ *                       printed at startup)
+ *   --bind=ADDR         bind address (default 127.0.0.1)
+ *   --workers=N         connection workers = max concurrent compiles
+ *                       (default: hardware concurrency, min 2)
+ *   --queue=N           admission queue bound (default 64)
+ *   --deadline-ms=X     default per-request deadline (0 = none)
+ *   --idle-timeout-ms=N keep-alive/slow-client read timeout
+ *   --cache=N           artifact memo LRU capacity
+ *   --template-cache=N  template-tier LRU capacity
+ *   --contexts=N        warm CompileContext pool capacity
+ *   --max-units=N       largest topology a request may ask for
+ *   --debug-endpoints   enable POST /debug/sleep (load experiments)
+ *
+ * SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, answer
+ * queued connections with 503, finish in-flight compiles, drain the
+ * service, exit 0.
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/error.hh"
+#include "server/server.hh"
+
+using namespace qompress;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: qompressd [--port=N] [--bind=ADDR] [--workers=N]\n"
+        "       [--queue=N] [--deadline-ms=X] [--idle-timeout-ms=N]\n"
+        "       [--cache=N] [--template-cache=N] [--contexts=N]\n"
+        "       [--max-units=N] [--debug-endpoints]\n");
+}
+
+ServerOptions
+parse(int argc, char **argv)
+{
+    ServerOptions opts;
+    opts.port = 8080;
+    const unsigned hw = std::thread::hardware_concurrency();
+    opts.workers = hw > 2 ? static_cast<int>(hw) : 2;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *prefix) {
+            return a.substr(std::string(prefix).size());
+        };
+        if (a.rfind("--port=", 0) == 0) {
+            opts.port = std::atoi(value("--port=").c_str());
+        } else if (a.rfind("--bind=", 0) == 0) {
+            opts.bindAddress = value("--bind=");
+        } else if (a.rfind("--workers=", 0) == 0) {
+            opts.workers = std::atoi(value("--workers=").c_str());
+        } else if (a.rfind("--queue=", 0) == 0) {
+            opts.maxQueue = static_cast<std::size_t>(
+                std::atol(value("--queue=").c_str()));
+        } else if (a.rfind("--deadline-ms=", 0) == 0) {
+            opts.defaultDeadlineMs =
+                std::atof(value("--deadline-ms=").c_str());
+        } else if (a.rfind("--idle-timeout-ms=", 0) == 0) {
+            opts.idleTimeoutMs =
+                std::atoi(value("--idle-timeout-ms=").c_str());
+        } else if (a.rfind("--cache=", 0) == 0) {
+            opts.service.cacheCapacity = static_cast<std::size_t>(
+                std::atol(value("--cache=").c_str()));
+        } else if (a.rfind("--template-cache=", 0) == 0) {
+            opts.service.templateCacheCapacity =
+                static_cast<std::size_t>(
+                    std::atol(value("--template-cache=").c_str()));
+        } else if (a.rfind("--contexts=", 0) == 0) {
+            opts.service.contextPoolCapacity = static_cast<std::size_t>(
+                std::atol(value("--contexts=").c_str()));
+        } else if (a.rfind("--max-units=", 0) == 0) {
+            opts.maxUnits = std::atoi(value("--max-units=").c_str());
+        } else if (a == "--debug-endpoints") {
+            opts.debugEndpoints = true;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            QFATAL("unknown option '", a, "' (see --help)");
+        }
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const ServerOptions opts = parse(argc, argv);
+        QompressServer server(opts);
+        server.start();
+        std::printf("qompressd listening on %s:%d (workers=%d, "
+                    "queue=%zu, cache=%zu, template-cache=%zu)\n",
+                    opts.bindAddress.c_str(), server.port(),
+                    opts.workers, opts.maxQueue,
+                    opts.service.cacheCapacity,
+                    opts.service.templateCacheCapacity);
+        std::fflush(stdout);
+
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        while (!g_stop)
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+        std::printf("qompressd: draining and shutting down\n");
+        server.stop();
+        const ServerStats s = server.stats();
+        std::printf("qompressd: served %llu requests (%llu ok, %llu "
+                    "4xx, %llu 5xx, %llu shed)\n",
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.ok),
+                    static_cast<unsigned long long>(s.clientErrors),
+                    static_cast<unsigned long long>(s.serverErrors),
+                    static_cast<unsigned long long>(s.shed));
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "qompressd: %s\n", e.what());
+        return 2;
+    }
+}
