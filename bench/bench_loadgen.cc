@@ -482,6 +482,8 @@ main(int argc, char **argv)
                             scrape(before, "service", "misses");
     const double d_coalesced = scrape(after, "service", "coalesced") -
                                scrape(before, "service", "coalesced");
+    const double d_disk = scrape(after, "service", "diskHits") -
+                          scrape(before, "service", "diskHits");
     const double server_5xx = scrape(after, "server", "serverErrors");
     const double server_shed = scrape(after, "server", "shed");
     const double server_p99 = scrape(after, "latency", "p99_us");
@@ -512,10 +514,10 @@ main(int argc, char **argv)
         check(d_template > 0.0,
               "template tier served the sweep mix (templateHits > 0)");
         check(d_hits > 0.0, "memo tier served the zipf mix (hits > 0)");
-        check(d_requests ==
-                  d_hits + d_template + d_misses + d_coalesced,
+        check(d_requests == d_hits + d_template + d_disk + d_misses +
+                                d_coalesced,
               "ServiceStats partition: requests == hits + templateHits "
-              "+ misses + coalesced");
+              "+ diskHits + misses + coalesced");
         check(malformed400 == kMalformed.size() + 1,
               "every malformed/unknown-input request answered 400");
         check(malformedStructured,

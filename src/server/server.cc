@@ -534,7 +534,11 @@ QompressServer::metricsJson() const
         "\"cacheSize\": %zu, \"cacheCapacity\": %zu, "
         "\"templateHits\": %llu, \"templateMisses\": %llu, "
         "\"templateEvictions\": %llu, \"templateSize\": %zu, "
-        "\"templateCapacity\": %zu, \"contextsCreated\": %llu, "
+        "\"templateCapacity\": %zu, \"diskHits\": %llu, "
+        "\"diskWrites\": %llu, \"sizeEvictions\": %llu, "
+        "\"bytesInUse\": %zu, \"bytesCapacity\": %zu, "
+        "\"storeRecords\": %zu, \"storeBytes\": %llu, "
+        "\"contextsCreated\": %llu, "
         "\"contextsReused\": %llu, \"pooledContexts\": %zu}\n"
         "}\n",
         static_cast<unsigned long long>(sv.accepted),
@@ -558,6 +562,11 @@ QompressServer::metricsJson() const
         static_cast<unsigned long long>(st.templateMisses),
         static_cast<unsigned long long>(st.templateEvictions),
         st.templateSize, st.templateCapacity,
+        static_cast<unsigned long long>(st.diskHits),
+        static_cast<unsigned long long>(st.diskWrites),
+        static_cast<unsigned long long>(st.sizeEvictions),
+        st.bytesInUse, st.bytesCapacity, st.storeRecords,
+        static_cast<unsigned long long>(st.storeBytes),
         static_cast<unsigned long long>(st.contextsCreated),
         static_cast<unsigned long long>(st.contextsReused),
         st.pooledContexts);

@@ -1,0 +1,303 @@
+#include "service/artifact_store.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace {
+
+/** "QST1": identifies a file as an artifact log. */
+constexpr std::uint32_t kStoreMagic = 0x31545351u;
+
+/** "QREC": leads every frame; a cheap resync sentinel for recovery. */
+constexpr std::uint32_t kFrameMagic = 0x43455251u;
+
+/** Frame prefix: magic + body length + body CRC. */
+constexpr std::uint64_t kFrameHeaderBytes = 16;
+
+/** Store prefix: magic + artifact format version. */
+constexpr std::uint64_t kStoreHeaderBytes = 8;
+
+bool
+preadExact(int fd, void *buf, std::size_t n, std::uint64_t off)
+{
+    auto *p = static_cast<std::uint8_t *>(buf);
+    while (n > 0) {
+        const ssize_t got = ::pread(fd, p, n, static_cast<off_t>(off));
+        if (got <= 0)
+            return false;
+        p += got;
+        off += static_cast<std::uint64_t>(got);
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool
+pwriteExact(int fd, const void *buf, std::size_t n, std::uint64_t off)
+{
+    const auto *p = static_cast<const std::uint8_t *>(buf);
+    while (n > 0) {
+        const ssize_t put = ::pwrite(fd, p, n, static_cast<off_t>(off));
+        if (put <= 0)
+            return false;
+        p += put;
+        off += static_cast<std::uint64_t>(put);
+        n -= static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+frameFor(const ArtifactKey &key, const std::vector<std::uint8_t> &blob)
+{
+    ByteWriter body;
+    encodeArtifactKey(body, key);
+    body.bytes(blob.data(), blob.size());
+
+    ByteWriter frame;
+    frame.u32(kFrameMagic);
+    frame.u64(body.size());
+    frame.u32(crc32(body.data().data(), body.size()));
+    frame.bytes(body.data().data(), body.size());
+    return frame.take();
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string path) : path_(std::move(path))
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    openAndRecoverLocked();
+}
+
+ArtifactStore::~ArtifactStore()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ArtifactStore::openAndRecoverLocked()
+{
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    QFATAL_IF(fd_ < 0, "cannot open artifact store '", path_,
+              "': ", std::strerror(errno));
+
+    struct stat st;
+    QFATAL_IF(::fstat(fd_, &st) != 0, "cannot stat artifact store '",
+              path_, "': ", std::strerror(errno));
+    const auto file_size = static_cast<std::uint64_t>(st.st_size);
+
+    // Header check. Anything but (our magic, our format version) means
+    // the file is foreign or written by a different build: start cold.
+    bool fresh = true;
+    if (file_size >= kStoreHeaderBytes) {
+        std::uint8_t hdr[kStoreHeaderBytes];
+        if (preadExact(fd_, hdr, sizeof hdr, 0)) {
+            ByteReader r(hdr, sizeof hdr, "artifact store header");
+            fresh = r.u32() != kStoreMagic ||
+                    r.u32() != kArtifactFormatVersion;
+        }
+    }
+    if (fresh) {
+        ByteWriter hdr;
+        hdr.u32(kStoreMagic);
+        hdr.u32(kArtifactFormatVersion);
+        QFATAL_IF(::ftruncate(fd_, 0) != 0 ||
+                      !pwriteExact(fd_, hdr.data().data(), hdr.size(), 0),
+                  "cannot initialize artifact store '", path_,
+                  "': ", std::strerror(errno));
+        end_ = kStoreHeaderBytes;
+        return;
+    }
+
+    // Scan frames until the end of the file or the first bad frame.
+    // Every check failure below is "torn tail": keep what came before.
+    std::uint64_t off = kStoreHeaderBytes;
+    while (off + kFrameHeaderBytes <= file_size) {
+        std::uint8_t fh[kFrameHeaderBytes];
+        if (!preadExact(fd_, fh, sizeof fh, off))
+            break;
+        ByteReader r(fh, sizeof fh, "artifact store frame");
+        if (r.u32() != kFrameMagic)
+            break;
+        const std::uint64_t body_len = r.u64();
+        const std::uint32_t declared_crc = r.u32();
+        if (body_len > file_size - off - kFrameHeaderBytes)
+            break;
+        std::vector<std::uint8_t> body(body_len);
+        if (!preadExact(fd_, body.data(), body.size(),
+                        off + kFrameHeaderBytes))
+            break;
+        if (crc32(body.data(), body.size()) != declared_crc)
+            break;
+
+        ArtifactKey key;
+        try {
+            ByteReader br(body.data(), body.size(),
+                          "artifact store frame body");
+            key = decodeArtifactKey(br);
+            Slot slot;
+            slot.offset = off + kFrameHeaderBytes +
+                          (body.size() - br.remaining());
+            slot.size = br.remaining();
+            if (!index_.emplace(key, slot).second) {
+                index_[key] = slot; // later frame wins
+                ++dead_;
+            }
+        } catch (const FatalError &) {
+            break; // CRC passed but the body is still malformed
+        }
+        off += kFrameHeaderBytes + body_len;
+    }
+
+    end_ = off;
+    if (end_ < file_size) {
+        // Drop the torn tail so future appends start on a clean
+        // frame boundary. Failure here is not fatal: the scan already
+        // ignores everything past end_, appends just go further out.
+        if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0)
+            end_ = file_size;
+    }
+}
+
+bool
+ArtifactStore::put(const ArtifactKey &key,
+                   const std::vector<std::uint8_t> &blob)
+{
+    const std::vector<std::uint8_t> frame = frameFor(key, blob);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0)
+        return false;
+    if (!pwriteExact(fd_, frame.data(), frame.size(), end_)) {
+        // A partial append leaves a torn tail; recovery handles it,
+        // but trim now so this process's next put starts clean.
+        (void)::ftruncate(fd_, static_cast<off_t>(end_));
+        return false;
+    }
+    Slot slot;
+    slot.size = blob.size();
+    slot.offset = end_ + frame.size() - blob.size();
+    if (!index_.emplace(key, slot).second) {
+        index_[key] = slot;
+        ++dead_;
+    }
+    end_ += frame.size();
+    return true;
+}
+
+bool
+ArtifactStore::readBlobLocked(const Slot &slot,
+                              std::vector<std::uint8_t> &out)
+{
+    out.resize(slot.size);
+    return preadExact(fd_, out.data(), out.size(), slot.offset);
+}
+
+bool
+ArtifactStore::load(const ArtifactKey &key, std::vector<std::uint8_t> &out)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0)
+        return false;
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    return readBlobLocked(it->second, out);
+}
+
+bool
+ArtifactStore::contains(const ArtifactKey &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return index_.count(key) > 0;
+}
+
+std::size_t
+ArtifactStore::records()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return index_.size();
+}
+
+std::size_t
+ArtifactStore::deadRecords()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dead_;
+}
+
+std::uint64_t
+ArtifactStore::bytesOnDisk()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return end_;
+}
+
+void
+ArtifactStore::compact()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0 || dead_ == 0)
+        return;
+
+    const std::string tmp_path = path_ + ".compact.tmp";
+    const int tmp =
+        ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+    QFATAL_IF(tmp < 0, "cannot create '", tmp_path,
+              "' for compaction: ", std::strerror(errno));
+
+    ByteWriter hdr;
+    hdr.u32(kStoreMagic);
+    hdr.u32(kArtifactFormatVersion);
+    std::uint64_t out_off = 0;
+    bool ok = pwriteExact(tmp, hdr.data().data(), hdr.size(), out_off);
+    out_off += hdr.size();
+
+    std::unordered_map<ArtifactKey, Slot, ArtifactKeyHash> new_index;
+    std::vector<std::uint8_t> blob;
+    for (const auto &entry : index_) {
+        if (!ok)
+            break;
+        ok = readBlobLocked(entry.second, blob);
+        if (!ok)
+            break;
+        const std::vector<std::uint8_t> frame = frameFor(entry.first, blob);
+        ok = pwriteExact(tmp, frame.data(), frame.size(), out_off);
+        Slot slot;
+        slot.size = blob.size();
+        slot.offset = out_off + frame.size() - blob.size();
+        new_index.emplace(entry.first, slot);
+        out_off += frame.size();
+    }
+
+    if (!ok) {
+        ::close(tmp);
+        ::unlink(tmp_path.c_str());
+        QFATAL("compaction of artifact store '", path_,
+               "' failed: ", std::strerror(errno));
+    }
+    if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+        ::close(tmp);
+        ::unlink(tmp_path.c_str());
+        QFATAL("cannot rename '", tmp_path, "' over '", path_,
+               "': ", std::strerror(errno));
+    }
+    ::close(fd_);
+    fd_ = tmp;
+    end_ = out_off;
+    dead_ = 0;
+    index_ = std::move(new_index);
+}
+
+} // namespace qompress

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Disk tier for compiled artifacts: an append-only log + in-memory
+ * index.
+ *
+ * File layout:
+ *
+ *   [u32 store magic "QST1"] [u32 artifact format version]
+ *   [frame] [frame] ...
+ *
+ * where each frame is
+ *
+ *   [u32 frame magic "QREC"] [u64 body length] [u32 CRC-32 of body]
+ *   [body = encoded ArtifactKey + encoded CompileResult record]
+ *
+ * Appends are write-behind from the service's miss path, so the log is
+ * allowed to end in a torn frame (a crash mid-append). open() scans
+ * from the front, indexes every intact frame, stops at the first bad
+ * one (short, wrong magic, oversized length, checksum mismatch) and
+ * truncates the file back to the intact prefix so subsequent appends
+ * stay clean. A store-header version mismatch truncates the whole
+ * file: artifacts are caches of deterministic compiles, so starting
+ * cold is always safe, and guessing at a foreign layout never is.
+ *
+ * Re-putting a key appends a new frame and repoints the index (last
+ * frame wins on recovery too); the superseded frame stays on disk as a
+ * dead record until compact() rewrites the log with only live frames.
+ *
+ * All methods are thread-safe behind one mutex; reads use pread so
+ * concurrent loads never race on a shared file position.
+ */
+
+#ifndef QOMPRESS_SERVICE_ARTIFACT_STORE_HH
+#define QOMPRESS_SERVICE_ARTIFACT_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/serialize.hh"
+
+namespace qompress {
+
+class ArtifactStore
+{
+  public:
+    /**
+     * Open (creating if absent) the log at @p path and index its
+     * intact prefix. Throws FatalError if the file cannot be opened
+     * or created -- that is user configuration, not corruption.
+     */
+    explicit ArtifactStore(std::string path);
+    ~ArtifactStore();
+
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    /**
+     * Append @p blob (an encodeCompileResult record) under @p key.
+     * Returns false -- without throwing -- if the disk write fails;
+     * persistence is best-effort and must never take the service down.
+     */
+    bool put(const ArtifactKey &key, const std::vector<std::uint8_t> &blob);
+
+    /**
+     * Fetch the blob stored under @p key into @p out. Returns false if
+     * the key is absent or the read fails.
+     */
+    bool load(const ArtifactKey &key, std::vector<std::uint8_t> &out);
+
+    bool contains(const ArtifactKey &key);
+
+    /** Live (indexed) records. */
+    std::size_t records();
+
+    /** Superseded frames still occupying disk until compact(). */
+    std::size_t deadRecords();
+
+    /** Current log size in bytes (header + all frames, dead included). */
+    std::uint64_t bytesOnDisk();
+
+    /**
+     * Rewrite the log with only live frames (temp file + rename, so a
+     * crash mid-compact leaves either the old or the new log, never a
+     * mix). Throws FatalError if the rewrite fails.
+     */
+    void compact();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t offset; ///< of the blob within the file
+        std::uint64_t size;   ///< blob byte count
+    };
+
+    void openAndRecoverLocked();
+    bool readBlobLocked(const Slot &slot, std::vector<std::uint8_t> &out);
+
+    std::string path_;
+    std::mutex mu_;
+    int fd_ = -1;
+    std::uint64_t end_ = 0; ///< append offset == intact byte count
+    std::size_t dead_ = 0;
+    std::unordered_map<ArtifactKey, Slot, ArtifactKeyHash> index_;
+};
+
+} // namespace qompress
+
+#endif // QOMPRESS_SERVICE_ARTIFACT_STORE_HH

@@ -5,6 +5,7 @@
 #include "circuits/registry.hh"
 #include "common/error.hh"
 #include "ir/fingerprint.hh"
+#include "service/artifact_store.hh"
 
 namespace qompress {
 
@@ -114,19 +115,12 @@ CompileHandle::get() const
 // CompilerService
 // ------------------------------------------------------------------
 
-std::size_t
-CompilerService::RequestKeyHash::operator()(const RequestKey &k) const
+CompilerService::CompilerService(ServiceOptions opts)
+    : opts_(std::move(opts))
 {
-    Fingerprinter f;
-    f.mixU64(k.circuit);
-    f.mixU64(k.topo);
-    f.mixU64(k.lib);
-    f.mixU64(k.cfg);
-    f.mixString(k.strategy);
-    return static_cast<std::size_t>(f.value());
+    if (!opts_.storePath.empty())
+        store_ = std::make_unique<ArtifactStore>(opts_.storePath);
 }
-
-CompilerService::CompilerService(ServiceOptions opts) : opts_(opts) {}
 
 CompilerService::~CompilerService()
 {
@@ -271,7 +265,7 @@ CompilerService::compileImpl(const CompileRequest &req)
             if (it != index_.end()) {
                 ++hits_;
                 lru_.splice(lru_.begin(), lru_, it->second);
-                return it->second->second;
+                return it->second->artifact;
             }
             auto jt = inflight_.find(key);
             if (jt != inflight_.end()) {
@@ -305,11 +299,11 @@ CompilerService::compileImpl(const CompileRequest &req)
                                         templateLru_, tt->second);
                     tmpl = tt->second->second;
                 } else {
+                    // Eligible but no template; whether this request
+                    // lands as a diskHit or a miss is only knowable
+                    // after the disk probe below.
                     ++templateMisses_;
-                    ++misses_;
                 }
-            } else {
-                ++misses_;
             }
             if (memo)
                 inflight_.emplace(key, prom.get_future().share());
@@ -318,9 +312,28 @@ CompilerService::compileImpl(const CompileRequest &req)
     if (wait_on.valid())
         return wait_on.get(); // rethrows the owner's exception
 
+    // Disk tier: probed only after both in-memory tiers miss. The
+    // loaded blob doubles as the byte-budget charge below (its size IS
+    // the serialized size). A corrupt record decodes to FatalError and
+    // falls through to a fresh compile -- the store is a cache, never
+    // an authority.
     CompileArtifact artifact;
+    std::vector<std::uint8_t> blob;
+    bool from_disk = false;
+    if (!tmpl && store_ && store_->load(key, blob)) {
+        try {
+            artifact = std::make_shared<const CompileResult>(
+                decodeCompileResult(blob));
+            from_disk = true;
+        } catch (const FatalError &) {
+            blob.clear();
+        }
+    }
+
     try {
-        if (tmpl) {
+        if (from_disk) {
+            // Nothing to run; the decode above already produced it.
+        } else if (tmpl) {
             // O(gates) path: substitute this instance's angles into
             // the template's compiled structure and re-price.
             artifact = std::make_shared<const CompileResult>(
@@ -329,16 +342,35 @@ CompilerService::compileImpl(const CompileRequest &req)
             artifact = compileUncached(req, *circuit, ctx_fp);
         }
     } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Keep the request partition exact for failures too: a throw
+        // out of rebind stays under its templateHit; anything else
+        // counts as the miss it (unsuccessfully) compiled for.
+        if (!tmpl)
+            ++misses_;
         if (memo) {
-            std::lock_guard<std::mutex> lk(mu_);
             prom.set_exception(std::current_exception());
             inflight_.erase(key);
         }
         throw;
     }
 
-    // Extract a template from a successful full compile of an eligible
-    // request (outside the lock: the binding walk is O(gates)).
+    // Serialize once, outside the lock, and only when somebody needs
+    // the bytes: the store (write-behind) or the byte budget (charge).
+    // With both features off the encode is skipped so the memo-only
+    // hot path stays exactly as cheap as before this tier existed.
+    const bool charge = opts_.cacheBytesCapacity > 0;
+    if (!from_disk && (store_ || charge))
+        blob = encodeCompileResult(*artifact);
+    bool wrote = false;
+    if (store_ && !from_disk && !store_->contains(key))
+        wrote = store_->put(key, blob);
+    const std::size_t bytes = blob.size();
+
+    // Extract a template from a successful full compile OR disk load
+    // of an eligible request (outside the lock: the binding walk is
+    // O(gates)). Disk-loaded artifacts planting templates is what lets
+    // a restarted service serve parameter sweeps by rebind again.
     TemplatePtr fresh;
     if (tmpl_eligible && !tmpl)
         fresh = std::make_shared<const CompiledTemplate>(
@@ -346,6 +378,14 @@ CompilerService::compileImpl(const CompileRequest &req)
 
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (!tmpl) {
+            if (from_disk)
+                ++diskHits_;
+            else
+                ++misses_;
+        }
+        if (wrote)
+            ++diskWrites_;
         if (fresh && !templateIndex_.count(tkey)) {
             // Keep-first on a racing extraction: templates of the same
             // structure are interchangeable, so the loser is dropped.
@@ -358,7 +398,8 @@ CompilerService::compileImpl(const CompileRequest &req)
             }
         }
         if (memo) {
-            lru_.emplace_front(key, artifact);
+            lru_.push_front(LruEntry{key, artifact, bytes});
+            bytesInUse_ += bytes;
             index_[key] = lru_.begin();
             evictOverCapacityLocked();
             prom.set_value(artifact);
@@ -432,9 +473,21 @@ void
 CompilerService::evictOverCapacityLocked()
 {
     while (lru_.size() > opts_.cacheCapacity) {
-        index_.erase(lru_.back().first);
+        bytesInUse_ -= lru_.back().bytes;
+        index_.erase(lru_.back().key);
         lru_.pop_back();
         ++evictions_;
+    }
+    if (opts_.cacheBytesCapacity == 0)
+        return;
+    // Byte pressure evicts in the same LRU order but under its own
+    // counter. The !empty() guard makes an artifact larger than the
+    // whole budget simply not resident, rather than an infinite loop.
+    while (bytesInUse_ > opts_.cacheBytesCapacity && !lru_.empty()) {
+        bytesInUse_ -= lru_.back().bytes;
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++sizeEvictions_;
     }
 }
 
@@ -458,6 +511,15 @@ CompilerService::stats() const
     s.templateEvictions = templateEvictions_;
     s.templateSize = templateLru_.size();
     s.templateCapacity = opts_.templateCacheCapacity;
+    s.sizeEvictions = sizeEvictions_;
+    s.bytesInUse = bytesInUse_;
+    s.bytesCapacity = opts_.cacheBytesCapacity;
+    s.diskHits = diskHits_;
+    s.diskWrites = diskWrites_;
+    if (store_) {
+        s.storeRecords = store_->records();
+        s.storeBytes = store_->bytesOnDisk();
+    }
     return s;
 }
 
@@ -470,6 +532,9 @@ CompilerService::clearCache()
     idle_.clear();
     templateLru_.clear();
     templateIndex_.clear();
+    bytesInUse_ = 0;
+    // store_ deliberately untouched: the disk tier exists to survive
+    // in-memory cache drops and process restarts.
     // In-flight compiles keep their local promises; entries left in
     // inflight_ are owned by running compiles and expire when they
     // finish. Artifacts already handed out stay alive through their

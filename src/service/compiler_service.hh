@@ -27,6 +27,14 @@
  *    parameterized sweep -- is served by the O(gates) rebind pass
  *    instead of a full compile, with its own hit/miss/eviction
  *    counters. CompileRequest::fullCompile opts a request out.
+ *  - A disk tier (ServiceOptions::storePath, off by default): an
+ *    ArtifactStore append-only log holding serialized CompileResults
+ *    under the same content keys. Misses that both in-memory tiers
+ *    fall through read the disk before compiling; freshly produced
+ *    artifacts are written behind. Because compiles are deterministic,
+ *    a restarted (or neighboring) service pointed at the same store
+ *    starts warm: tier lookup order is memo -> template -> disk ->
+ *    compile.
  *  - A context pool: reusable CompileContexts keyed by the
  *    topology/library/config fingerprint, so distance fields warmed by
  *    one request survive into the next (across requests, not just
@@ -64,9 +72,12 @@
 #include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
 #include "compiler/rebind.hh"
+#include "ir/serialize.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
+
+class ArtifactStore;
 
 /** @name Component fingerprints
  * Content hashes of the non-circuit compile inputs (the circuit hash
@@ -183,6 +194,21 @@ struct ServiceOptions
     std::size_t contextPoolCapacity = 8;
 
     /**
+     * Memo LRU budget in *serialized* bytes; 0 means unlimited (the
+     * entry cap alone governs). When set, every resident artifact is
+     * charged its encodeCompileResult size and the LRU additionally
+     * evicts -- counted separately as sizeEvictions -- until under
+     * budget. An artifact larger than the whole budget is simply not
+     * retained.
+     */
+    std::size_t cacheBytesCapacity = 0;
+
+    /** Path of the artifact-store log backing the disk tier; empty
+     *  (the default) leaves the tier off and behavior byte-identical
+     *  to a storeless service. */
+    std::string storePath;
+
+    /**
      * Default lanes for submit()/submitBatch() request fan-out, in the
      * CompilerConfig::threads convention (0 = process default, 1 =
      * serial/inline, N = exactly N lanes). Results are identical at
@@ -203,17 +229,38 @@ struct ServiceStats
     std::size_t cacheCapacity = 0; ///< current capacity knob
 
     /** @name Template tier
-     * Requests partition as requests == hits + templateHits + misses +
-     * coalesced: a template hit is an exact-tier miss served by rebind
-     * instead of a compile. templateMisses counts eligible requests
-     * (parameterized circuit, tier enabled, not fullCompile) that
-     * found no template and fell through to a full compile -- a subset
-     * of misses, kept separate so sweep warm-up cost is visible. @{ */
+     * Requests partition as requests == hits + templateHits + diskHits
+     * + misses + coalesced: a template hit is an exact-tier miss
+     * served by rebind instead of a compile. templateMisses counts
+     * eligible requests (parameterized circuit, tier enabled, not
+     * fullCompile) that found no template and fell through to the disk
+     * tier or a full compile -- a subset of diskHits + misses, kept
+     * separate so sweep warm-up cost is visible. @{ */
     std::uint64_t templateHits = 0;      ///< served by parameter rebind
     std::uint64_t templateMisses = 0;    ///< eligible but no template yet
     std::uint64_t templateEvictions = 0; ///< template LRU drops
     std::size_t templateSize = 0;        ///< resident templates
     std::size_t templateCapacity = 0;    ///< current tier capacity
+    /** @} */
+
+    /** @name Byte-size accounting (cacheBytesCapacity)
+     * bytesInUse is the serialized size of every resident memo entry.
+     * Charging requires encoding, so it is lazy: with the byte budget
+     * unset AND the disk tier off, entries are charged 0 and bytesInUse
+     * stays 0 -- the hot path never pays an encode it does not need. @{ */
+    std::uint64_t sizeEvictions = 0; ///< LRU drops under byte pressure
+    std::size_t bytesInUse = 0;      ///< charged bytes currently resident
+    std::size_t bytesCapacity = 0;   ///< current byte-budget knob
+    /** @} */
+
+    /** @name Disk tier (storePath)
+     * diskHits joins the request partition above; diskWrites counts
+     * write-behind appends. storeRecords/storeBytes mirror the
+     * ArtifactStore (0 when the tier is off). @{ */
+    std::uint64_t diskHits = 0;     ///< served by decode from the store
+    std::uint64_t diskWrites = 0;   ///< artifacts appended to the store
+    std::size_t storeRecords = 0;   ///< live records in the log
+    std::uint64_t storeBytes = 0;   ///< log size on disk (incl. dead)
     /** @} */
     std::uint64_t contextsCreated = 0; ///< cold CompileContext builds
     std::uint64_t contextsReused = 0;  ///< warm contexts served from the pool
@@ -268,7 +315,8 @@ class CompilerService
     void drain();
 
     /** Drop all memoized artifacts and pooled contexts (counters are
-     *  retained). */
+     *  retained; the disk store, if any, is deliberately untouched --
+     *  it is the tier that exists to survive exactly this). */
     void clearCache();
 
     /** Change the memo capacity; shrinking evicts LRU entries now. */
@@ -279,27 +327,11 @@ class CompilerService
      *  plus the verbatim strategy name. Equality compares the
      *  fingerprints, not the underlying content — a wrong-artifact
      *  serve therefore requires a single-component 64-bit collision
-     *  (see the Fingerprinter doc for why that trade is accepted). */
-    struct RequestKey
-    {
-        std::uint64_t circuit = 0;
-        std::uint64_t topo = 0;
-        std::uint64_t lib = 0;
-        std::uint64_t cfg = 0;
-        std::string strategy;
-
-        bool operator==(const RequestKey &o) const
-        {
-            return circuit == o.circuit && topo == o.topo &&
-                   lib == o.lib && cfg == o.cfg &&
-                   strategy == o.strategy;
-        }
-    };
-
-    struct RequestKeyHash
-    {
-        std::size_t operator()(const RequestKey &k) const;
-    };
+     *  (see the Fingerprinter doc for why that trade is accepted).
+     *  The same key is the on-disk record identity (ir/serialize.hh),
+     *  so the memo and disk tiers can never disagree. */
+    using RequestKey = ArtifactKey;
+    using RequestKeyHash = ArtifactKeyHash;
 
     /**
      * One pooled compile context. Owns copies of the inputs the
@@ -323,7 +355,14 @@ class CompilerService
         }
     };
 
-    using LruEntry = std::pair<RequestKey, CompileArtifact>;
+    /** Memo entry. @ref bytes is the serialized-size charge (0 when
+     *  charging is off; see ServiceStats::bytesInUse). */
+    struct LruEntry
+    {
+        RequestKey key;
+        CompileArtifact artifact;
+        std::size_t bytes = 0;
+    };
 
     /** Template-tier entry. The key reuses RequestKey with the
      *  `circuit` field holding the STRUCTURAL fingerprint instead of
@@ -363,6 +402,12 @@ class CompilerService
                        RequestKeyHash>
         templateIndex_;
 
+    /** The disk tier; null when ServiceOptions::storePath is empty.
+     *  The store has its own internal mutex and is only ever called
+     *  outside mu_ (loads/puts) or strictly after acquiring mu_
+     *  (stats), so the lock order is always mu_ -> store. */
+    std::unique_ptr<ArtifactStore> store_;
+
     std::uint64_t requests_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
@@ -371,6 +416,10 @@ class CompilerService
     std::uint64_t templateHits_ = 0;
     std::uint64_t templateMisses_ = 0;
     std::uint64_t templateEvictions_ = 0;
+    std::uint64_t diskHits_ = 0;
+    std::uint64_t diskWrites_ = 0;
+    std::uint64_t sizeEvictions_ = 0;
+    std::size_t bytesInUse_ = 0;
     std::uint64_t contextsCreated_ = 0;
     std::uint64_t contextsReused_ = 0;
 

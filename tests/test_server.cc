@@ -15,10 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -73,6 +76,31 @@ class TestClient
         return send(raw) && read(status, body);
     }
 
+    /** Drain the raw response (status line + headers + body) until
+     *  the peer closes. Shed connections are 503'd and closed by the
+     *  acceptor, so EOF bounds the read; httpReadResponse discards
+     *  headers, which the Retry-After assertion needs to see. */
+    std::string
+    readRaw(int timeoutMs = 30000)
+    {
+        std::string out;
+        if (fd_ < 0)
+            return out;
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeoutMs);
+        char buf[4096];
+        while (std::chrono::steady_clock::now() < deadline) {
+            pollfd pfd{fd_, POLLIN, 0};
+            if (::poll(&pfd, 1, 100) <= 0)
+                continue;
+            const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+            if (n <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+        return out;
+    }
+
   private:
     int fd_ = -1;
     std::string leftover_;
@@ -91,6 +119,44 @@ get(const std::string &target, bool close = false)
 {
     return "GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
            (close ? "Connection: close\r\n" : "") + "\r\n";
+}
+
+/** Value of a header within a raw HTTP response, "" when absent. */
+std::string
+headerValue(const std::string &raw, const std::string &name)
+{
+    const auto end = raw.find("\r\n\r\n");
+    const std::string head =
+        raw.substr(0, end == std::string::npos ? raw.size() : end);
+    auto p = head.find("\r\n" + name + ":");
+    if (p == std::string::npos)
+        return "";
+    p += 2 + name.size() + 1;
+    const auto e = head.find("\r\n", p);
+    std::string v = head.substr(p, e == std::string::npos ? std::string::npos
+                                                          : e - p);
+    while (!v.empty() && (v.front() == ' ' || v.front() == '\t'))
+        v.erase(v.begin());
+    while (!v.empty() && (v.back() == ' ' || v.back() == '\r'))
+        v.pop_back();
+    return v;
+}
+
+/** Spin until the server's own counters satisfy `pred`: barriers on
+ *  observable state instead of wall-clock sleeps, so sequencing holds
+ *  even when TSan stretches the scheduler. */
+template <typename Pred>
+bool
+waitForStats(const QompressServer &server, Pred pred, int timeoutMs = 10000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeoutMs);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (pred(server.stats()))
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
 }
 
 /** Value of `"key": <number>` within the named /metrics section. */
@@ -283,10 +349,13 @@ TEST(Server, ZeroDeadlineIsDeterministic504)
 
 TEST(Server, OverloadShedsWith503)
 {
-    // One worker, one queue slot: while /debug/sleep occupies the
-    // worker and a second connection fills the queue, any further
-    // connection must be shed with 503 at admission instead of
-    // queueing without bound.
+    // One worker, one queue slot. Each step gates on the server's own
+    // counters rather than wall-clock sleeps, so the sequencing holds
+    // even when TSan stretches the scheduler: the lone worker provably
+    // holds the sleeper, the second connection provably occupies the
+    // queue slot, and only then does the third connection arrive --
+    // which must be shed with a 503 at admission instead of queueing
+    // without bound.
     ServerOptions opts;
     opts.workers = 1;
     opts.maxQueue = 1;
@@ -295,22 +364,40 @@ TEST(Server, OverloadShedsWith503)
     TestClient sleeper = fx.client();
     ASSERT_TRUE(sleeper.send("POST /debug/sleep?ms=1500 HTTP/1.1\r\n"
                              "Host: t\r\nContent-Length: 0\r\n\r\n"));
-    // Give the lone worker a moment to pick the sleeper up.
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    // Barrier: the worker has parsed the sleeper's request (so it is
+    // occupied for the full sleep) and the queue slot is free again.
+    ASSERT_TRUE(waitForStats(*fx.server, [](const ServerStats &s) {
+        return s.requests >= 1 && s.queueDepth == 0;
+    }));
 
     TestClient queued = fx.client(); // occupies the single queue slot
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(waitForStats(*fx.server, [](const ServerStats &s) {
+        return s.accepted >= 2 && s.queueDepth == 1;
+    }));
 
+    // Shedding happens at admission, before any bytes are read, so
+    // the 503 arrives unprompted and the acceptor closes the socket.
     TestClient shedMe = fx.client();
-    int status = 0;
-    std::string body;
-    ASSERT_TRUE(shedMe.request(get("/healthz"), status, body));
-    EXPECT_EQ(status, 503);
-    EXPECT_NE(body.find("queue is full"), std::string::npos);
+    const std::string raw = shedMe.readRaw();
+    EXPECT_EQ(raw.rfind("HTTP/1.1 503", 0), 0u) << raw;
+    EXPECT_NE(raw.find("queue is full"), std::string::npos) << raw;
+    // Retry-After must be a positive integer, not just present.
+    const std::string retry = headerValue(raw, "Retry-After");
+    ASSERT_FALSE(retry.empty()) << raw;
+    EXPECT_EQ(retry.find_first_not_of("0123456789"), std::string::npos)
+        << retry;
+    EXPECT_GT(std::atoi(retry.c_str()), 0) << retry;
 
     // The sleeper finishes, then the queued connection gets served:
     // overload sheds the excess, never the admitted work.
+    int status = 0;
+    std::string body;
     ASSERT_TRUE(sleeper.read(status, body));
+    EXPECT_EQ(status, 200);
+    // Release the lone worker deterministically: a close-flagged
+    // request ends the sleeper's keep-alive hold, so the queued
+    // connection is picked up without waiting out the idle timeout.
+    ASSERT_TRUE(sleeper.request(get("/healthz", true), status, body));
     EXPECT_EQ(status, 200);
     ASSERT_TRUE(queued.request(get("/healthz"), status, body));
     EXPECT_EQ(status, 200);
@@ -333,12 +420,18 @@ TEST(Server, MetricsExposeServiceStatsAndPartitionHolds)
     const double misses = scrape(body, "service", "misses");
     const double tmpl = scrape(body, "service", "templateHits");
     const double coalesced = scrape(body, "service", "coalesced");
+    const double disk = scrape(body, "service", "diskHits");
     EXPECT_EQ(requests, 2.0);
     EXPECT_GE(hits, 1.0);
-    EXPECT_EQ(requests, hits + tmpl + misses + coalesced);
-    // Both cache tiers are visible.
+    EXPECT_EQ(requests, hits + tmpl + disk + misses + coalesced);
+    // All cache tiers are visible; persistence keys are exported even
+    // with the store off (scrape returns -1 for an absent key).
     EXPECT_GE(scrape(body, "service", "cacheSize"), 1.0);
     EXPECT_GE(scrape(body, "service", "templateCapacity"), 0.0);
+    EXPECT_GE(disk, 0.0);
+    EXPECT_GE(scrape(body, "service", "bytesInUse"), 0.0);
+    EXPECT_GE(scrape(body, "service", "storeRecords"), 0.0);
+    EXPECT_GE(scrape(body, "service", "sizeEvictions"), 0.0);
     // Server section + latency histogram.
     EXPECT_GE(scrape(body, "server", "requests"), 2.0);
     EXPECT_GT(scrape(body, "latency", "p99_us"), 0.0);

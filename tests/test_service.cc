@@ -15,12 +15,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "circuits/bv.hh"
 #include "circuits/registry.hh"
 #include "common/error.hh"
 #include "ir/passes.hh"
+#include "ir/serialize.hh"
+#include "service/artifact_store.hh"
 #include "service/compiler_service.hh"
 #include "strategies/strategy.hh"
 
@@ -413,6 +416,271 @@ TEST(StrategyRegistry, RoundTripsEveryName)
         EXPECT_NE(std::find(names.begin(), names.end(), strat->name()),
                   names.end());
     }
+}
+
+// ------------------------------------------------------------------
+// Byte-size-aware LRU + disk tier
+// ------------------------------------------------------------------
+
+/** The extended accounting identity every stats snapshot must satisfy:
+ *  each processed request is exactly one of the five outcomes. */
+::testing::AssertionResult
+partitionHolds(const ServiceStats &s)
+{
+    if (s.requests != s.hits + s.templateHits + s.diskHits + s.misses +
+                          s.coalesced)
+        return ::testing::AssertionFailure()
+               << "requests=" << s.requests << " != hits=" << s.hits
+               << " + templateHits=" << s.templateHits
+               << " + diskHits=" << s.diskHits
+               << " + misses=" << s.misses
+               << " + coalesced=" << s.coalesced;
+    return ::testing::AssertionSuccess();
+}
+
+/** Parameterized 6-qubit circuit; same structure for every angle, so
+ *  every serialized artifact has the same byte size. */
+Circuit
+angleCircuit(double angle)
+{
+    Circuit c(6, "angles");
+    for (QubitId q = 0; q < 6; ++q)
+        c.h(q);
+    c.rz(angle, 0);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    return c;
+}
+
+std::string
+serviceStorePath(const char *tag)
+{
+    const std::string path =
+        ::testing::TempDir() + "qompress_svc_" + tag + ".log";
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(ServiceByteBudget, EvictsInLruOrderUnderBytePressure)
+{
+    const Topology topo = Topology::grid(6);
+    const GateLibrary lib;
+
+    // Learn the (uniform) serialized artifact size first.
+    CompilerService probe;
+    const std::size_t unit =
+        encodeCompileResult(*probe.compileSync(CompileRequest::forCircuit(
+                                angleCircuit(0.1), topo, "eqm",
+                                CompilerConfig{}, lib)))
+            .size();
+    ASSERT_GT(unit, 0u);
+
+    ServiceOptions opts;
+    opts.cacheBytesCapacity = 2 * unit; // room for exactly two
+    opts.templateCacheCapacity = 0;     // isolate the memo tier
+    CompilerService service(opts);
+    auto req = [&](double angle) {
+        return CompileRequest::forCircuit(angleCircuit(angle), topo,
+                                          "eqm", CompilerConfig{}, lib);
+    };
+
+    service.compileSync(req(0.1)); // {a}
+    service.compileSync(req(0.2)); // {b, a}
+    EXPECT_EQ(service.stats().sizeEvictions, 0u);
+    EXPECT_EQ(service.stats().bytesInUse, 2 * unit);
+
+    service.compileSync(req(0.3)); // {c, b} -- a evicted (LRU)
+    ServiceStats s = service.stats();
+    EXPECT_EQ(s.sizeEvictions, 1u);
+    EXPECT_EQ(s.evictions, 0u); // entry cap untouched: distinct counters
+    EXPECT_EQ(s.cacheSize, 2u);
+    EXPECT_LE(s.bytesInUse, s.bytesCapacity);
+
+    service.compileSync(req(0.2)); // hit -- b now most recent
+    EXPECT_EQ(service.stats().hits, 1u);
+    service.compileSync(req(0.1)); // miss (was evicted); evicts c
+    s = service.stats();
+    EXPECT_EQ(s.sizeEvictions, 2u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_TRUE(partitionHolds(s));
+
+    // An artifact larger than the whole budget is not retained at all.
+    ServiceOptions tiny;
+    tiny.cacheBytesCapacity = 1;
+    tiny.templateCacheCapacity = 0;
+    CompilerService cramped(tiny);
+    cramped.compileSync(req(0.5));
+    cramped.compileSync(req(0.5)); // recompiles: nothing stuck
+    ServiceStats t = cramped.stats();
+    EXPECT_EQ(t.misses, 2u);
+    EXPECT_EQ(t.cacheSize, 0u);
+    EXPECT_EQ(t.bytesInUse, 0u);
+    EXPECT_EQ(t.sizeEvictions, 2u);
+}
+
+TEST(ServiceDiskTier, OffByDefaultLeavesBehaviorUnchanged)
+{
+    CompilerService service;
+    const auto req = CompileRequest::forCircuit(
+        bernsteinVazirani(6), Topology::grid(6), "eqm");
+    service.compileSync(req);
+    service.compileSync(req);
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.diskWrites, 0u);
+    EXPECT_EQ(s.storeRecords, 0u);
+    EXPECT_EQ(s.storeBytes, 0u);
+    EXPECT_EQ(s.bytesInUse, 0u); // lazy charging: no encode happened
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_TRUE(partitionHolds(s));
+}
+
+TEST(ServiceDiskTier, RestartWarmServesCatalogWithZeroCompiles)
+{
+    const std::string path = serviceStorePath("restart");
+    const GateLibrary lib;
+    const CompilerConfig cfg;
+
+    // A catalog of five distinct requests, parameterized ones included.
+    std::vector<CompileRequest> catalog;
+    catalog.push_back(CompileRequest::forCircuit(
+        bernsteinVazirani(6), Topology::grid(6), "eqm", cfg, lib));
+    catalog.push_back(CompileRequest::forCircuit(
+        bernsteinVazirani(6), Topology::grid(6), "rb", cfg, lib));
+    catalog.push_back(CompileRequest::forCircuit(
+        bernsteinVazirani(7), Topology::ring(8), "eqm", cfg, lib));
+    catalog.push_back(CompileRequest::forCircuit(
+        angleCircuit(0.25), Topology::grid(6), "eqm", cfg, lib));
+    catalog.push_back(CompileRequest::forFamily(
+        "qaoa_random", 8, Topology::grid(8), "awe", cfg, lib));
+
+    std::vector<CompileArtifact> first;
+    {
+        ServiceOptions opts;
+        opts.storePath = path;
+        CompilerService service(opts);
+        for (const auto &req : catalog)
+            first.push_back(service.compileSync(req));
+        const ServiceStats s = service.stats();
+        EXPECT_EQ(s.misses, catalog.size());
+        EXPECT_EQ(s.diskWrites, catalog.size());
+        EXPECT_EQ(s.storeRecords, catalog.size());
+        EXPECT_GT(s.storeBytes, 0u);
+        EXPECT_TRUE(partitionHolds(s));
+    }
+
+    // The warm-restart proof: a new service on the same store serves
+    // the whole catalog without one full compile, bit-identically.
+    ServiceOptions opts;
+    opts.storePath = path;
+    CompilerService restarted(opts);
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+        const CompileArtifact art = restarted.compileSync(catalog[i]);
+        const Circuit c = catalog[i].resolveCircuit();
+        EXPECT_TRUE(sameResult(*art, *first[i], c.numQubits()))
+            << "catalog entry " << i;
+    }
+    const ServiceStats s = restarted.stats();
+    EXPECT_EQ(s.misses, 0u);           // zero full compiles...
+    EXPECT_EQ(s.contextsCreated, 0u);  // ...so no context was built
+    EXPECT_EQ(s.diskHits, catalog.size());
+    EXPECT_EQ(s.diskWrites, 0u); // nothing new to persist
+    EXPECT_TRUE(partitionHolds(s));
+
+    // Second pass is served by the (now warm) memo tier, not the disk.
+    for (const auto &req : catalog)
+        restarted.compileSync(req);
+    const ServiceStats s2 = restarted.stats();
+    EXPECT_EQ(s2.hits, catalog.size());
+    EXPECT_EQ(s2.diskHits, catalog.size());
+    EXPECT_TRUE(partitionHolds(s2));
+    std::remove(path.c_str());
+}
+
+TEST(ServiceDiskTier, RebindArtifactsArePersistedToo)
+{
+    const std::string path = serviceStorePath("rebind");
+    const Topology topo = Topology::grid(6);
+    const GateLibrary lib;
+
+    std::vector<CompileArtifact> first;
+    {
+        ServiceOptions opts;
+        opts.storePath = path;
+        CompilerService service(opts);
+        // angle 0.1 full-compiles and plants a template; angle 0.2 is
+        // served by rebind -- and must STILL be written behind, or a
+        // restarted service's warmth would depend on request order.
+        first.push_back(service.compileSync(CompileRequest::forCircuit(
+            angleCircuit(0.1), topo, "eqm", CompilerConfig{}, lib)));
+        first.push_back(service.compileSync(CompileRequest::forCircuit(
+            angleCircuit(0.2), topo, "eqm", CompilerConfig{}, lib)));
+        const ServiceStats s = service.stats();
+        EXPECT_EQ(s.templateHits, 1u);
+        EXPECT_EQ(s.diskWrites, 2u);
+        EXPECT_EQ(s.storeRecords, 2u);
+        EXPECT_TRUE(partitionHolds(s));
+    }
+
+    // New service, REBOUND artifact requested first: disk hit, no
+    // compile, bit-identical to the first boot's rebind.
+    ServiceOptions opts;
+    opts.storePath = path;
+    CompilerService restarted(opts);
+    const CompileArtifact again =
+        restarted.compileSync(CompileRequest::forCircuit(
+            angleCircuit(0.2), topo, "eqm", CompilerConfig{}, lib));
+    EXPECT_TRUE(sameResult(*again, *first[1], 6));
+    const ServiceStats s = restarted.stats();
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.misses, 0u);
+
+    // The disk-loaded artifact planted a template: a THIRD angle is
+    // served by rebind, not a full compile.
+    restarted.compileSync(CompileRequest::forCircuit(
+        angleCircuit(0.3), topo, "eqm", CompilerConfig{}, lib));
+    const ServiceStats s2 = restarted.stats();
+    EXPECT_EQ(s2.templateHits, 1u);
+    EXPECT_EQ(s2.misses, 0u);
+    EXPECT_TRUE(partitionHolds(s2));
+    std::remove(path.c_str());
+}
+
+TEST(ServiceDiskTier, CorruptStoreRecordFallsBackToCompile)
+{
+    const std::string path = serviceStorePath("corrupt");
+    const auto req = CompileRequest::forCircuit(
+        bernsteinVazirani(6), Topology::grid(6), "eqm");
+    CompileArtifact direct;
+    {
+        ServiceOptions opts;
+        opts.storePath = path;
+        CompilerService service(opts);
+        direct = service.compileSync(req);
+    }
+    {
+        // Corrupt the stored record's payload (the frame CRC guards
+        // the log scan, so flip a byte AND fix nothing: recovery drops
+        // the frame; the service must quietly recompile).
+        std::FILE *f = std::fopen(path.c_str(), "r+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, -9, SEEK_END);
+        const int c = std::fgetc(f);
+        std::fseek(f, -9, SEEK_END);
+        std::fputc(c ^ 0xff, f);
+        std::fclose(f);
+    }
+    ServiceOptions opts;
+    opts.storePath = path;
+    CompilerService service(opts);
+    const CompileArtifact art = service.compileSync(req);
+    EXPECT_TRUE(sameResult(*art, *direct, 6));
+    const ServiceStats s = service.stats();
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_TRUE(partitionHolds(s));
+    std::remove(path.c_str());
 }
 
 TEST(ServiceFingerprints, ComponentsDistinguishContent)

@@ -14,8 +14,11 @@
  *   --deadline-ms=X     default per-request deadline (0 = none)
  *   --idle-timeout-ms=N keep-alive/slow-client read timeout
  *   --cache=N           artifact memo LRU capacity
+ *   --cache-bytes=N     memo LRU byte budget (0 = unlimited)
  *   --template-cache=N  template-tier LRU capacity
  *   --contexts=N        warm CompileContext pool capacity
+ *   --store=PATH        artifact-store log backing the disk tier
+ *                       (restarts with the same PATH boot warm)
  *   --max-units=N       largest topology a request may ask for
  *   --debug-endpoints   enable POST /debug/sleep (load experiments)
  *
@@ -52,8 +55,9 @@ usage()
     std::printf(
         "usage: qompressd [--port=N] [--bind=ADDR] [--workers=N]\n"
         "       [--queue=N] [--deadline-ms=X] [--idle-timeout-ms=N]\n"
-        "       [--cache=N] [--template-cache=N] [--contexts=N]\n"
-        "       [--max-units=N] [--debug-endpoints]\n");
+        "       [--cache=N] [--cache-bytes=N] [--template-cache=N]\n"
+        "       [--contexts=N] [--store=PATH] [--max-units=N]\n"
+        "       [--debug-endpoints]\n");
 }
 
 ServerOptions
@@ -86,6 +90,11 @@ parse(int argc, char **argv)
         } else if (a.rfind("--cache=", 0) == 0) {
             opts.service.cacheCapacity = static_cast<std::size_t>(
                 std::atol(value("--cache=").c_str()));
+        } else if (a.rfind("--cache-bytes=", 0) == 0) {
+            opts.service.cacheBytesCapacity = static_cast<std::size_t>(
+                std::atoll(value("--cache-bytes=").c_str()));
+        } else if (a.rfind("--store=", 0) == 0) {
+            opts.service.storePath = value("--store=");
         } else if (a.rfind("--template-cache=", 0) == 0) {
             opts.service.templateCacheCapacity =
                 static_cast<std::size_t>(
@@ -117,11 +126,15 @@ main(int argc, char **argv)
         QompressServer server(opts);
         server.start();
         std::printf("qompressd listening on %s:%d (workers=%d, "
-                    "queue=%zu, cache=%zu, template-cache=%zu)\n",
+                    "queue=%zu, cache=%zu, template-cache=%zu, "
+                    "store=%s)\n",
                     opts.bindAddress.c_str(), server.port(),
                     opts.workers, opts.maxQueue,
                     opts.service.cacheCapacity,
-                    opts.service.templateCacheCapacity);
+                    opts.service.templateCacheCapacity,
+                    opts.service.storePath.empty()
+                        ? "off"
+                        : opts.service.storePath.c_str());
         std::fflush(stdout);
 
         std::signal(SIGINT, onSignal);
