@@ -17,6 +17,12 @@
  *    separated by idle gaps, reported as tail latency.
  *  - Malformed mix: adversarial QASM and raw-garbage HTTP; each must
  *    come back as a structured 4xx while the server keeps serving.
+ *  - Fault scenario: a dedicated store-backed server is driven
+ *    through a disk-fault episode (every store read/write failing
+ *    with EIO via common/faultpoint.hh). The disk tier must degrade
+ *    while every request keeps succeeding, recover once the faults
+ *    clear, flip /healthz through ok -> degraded -> draining, and
+ *    leave a log a cold restart fully recovers.
  *
  * Emits bench_diff.py-compatible JSON ("loadgen_" sections; the two
  * *_ms wall-clock timings are the gated metrics, tail latencies are
@@ -39,11 +45,13 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,12 +59,15 @@
 #include <vector>
 
 #include "circuits/registry.hh"
+#include "common/error.hh"
+#include "common/faultpoint.hh"
 #include "common/rng.hh"
 #include "common/strings.hh"
 #include "ir/circuit.hh"
 #include "server/histogram.hh"
 #include "server/http.hh"
 #include "server/server.hh"
+#include "service/artifact_store.hh"
 
 using namespace qompress;
 
@@ -121,8 +132,8 @@ parseArgs(int argc, char **argv)
 class Client
 {
   public:
-    Client(std::string host, int port)
-        : host_(std::move(host)), port_(port)
+    Client(std::string host, int port, std::uint64_t seed = 1)
+        : host_(std::move(host)), port_(port), rng_(seed)
     {
     }
 
@@ -137,6 +148,52 @@ class Client
     bool
     request(const std::string &raw, int &status, std::string &body)
     {
+        std::map<std::string, std::string> headers;
+        return requestOnce(raw, status, headers, body);
+    }
+
+    /**
+     * request() plus jittered exponential backoff: transport failures
+     * and 503s (overload shed, draining) are retried up to
+     * @p maxAttempts times, sleeping ~5, ~10, ~20... ms between tries
+     * with a uniform 0.5-1.5x jitter so synchronized clients spread
+     * out instead of re-stampeding. A 503 carrying Retry-After raises
+     * the sleep to what the server asked for.
+     */
+    bool
+    requestWithRetry(const std::string &raw, int &status,
+                     std::string &body, int maxAttempts = 4)
+    {
+        double backoff_ms = 5.0;
+        for (int attempt = 1;; ++attempt) {
+            std::map<std::string, std::string> headers;
+            const bool sent = requestOnce(raw, status, headers, body);
+            if (sent && status != 503)
+                return true;
+            if (attempt >= maxAttempts)
+                return sent;
+            double wait_ms = backoff_ms * rng_.nextDouble(0.5, 1.5);
+            if (sent) {
+                if (const auto ra = headers.find("retry-after");
+                    ra != headers.end()) {
+                    const double ra_ms =
+                        std::atof(ra->second.c_str()) * 1000.0;
+                    if (ra_ms > wait_ms)
+                        wait_ms = ra_ms;
+                }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(wait_ms));
+            backoff_ms *= 2.0;
+        }
+    }
+
+  private:
+    bool
+    requestOnce(const std::string &raw, int &status,
+                std::map<std::string, std::string> &headers,
+                std::string &body)
+    {
         for (int attempt = 0; attempt < 2; ++attempt) {
             if (fd_ < 0) {
                 fd_ = httpConnect(host_, port_);
@@ -145,7 +202,8 @@ class Client
                     continue;
             }
             if (httpSendAll(fd_, raw) &&
-                httpReadResponse(fd_, leftover_, status, body)) {
+                httpReadResponse(fd_, leftover_, status, headers,
+                                 body)) {
                 return true;
             }
             ::close(fd_);
@@ -154,11 +212,11 @@ class Client
         return false;
     }
 
-  private:
     std::string host_;
     int port_;
     int fd_ = -1;
     std::string leftover_;
+    Rng rng_;
 };
 
 std::string
@@ -203,6 +261,22 @@ scrape(const std::string &doc, const std::string &section,
     if (k == std::string::npos)
         return -1.0;
     return std::atof(doc.c_str() + k + key.size() + 3);
+}
+
+/** Same, for string-valued keys ("tierState": "degraded"). */
+std::string
+scrapeString(const std::string &doc, const std::string &section,
+             const std::string &key)
+{
+    const auto s = doc.find("\"" + section + "\"");
+    if (s == std::string::npos)
+        return "";
+    const auto k = doc.find("\"" + key + "\": \"", s);
+    if (k == std::string::npos)
+        return "";
+    const auto start = k + key.size() + 5;
+    const auto end = doc.find('"', start);
+    return end == std::string::npos ? "" : doc.substr(start, end - start);
 }
 
 struct Tally
@@ -338,7 +412,8 @@ main(int argc, char **argv)
         std::vector<std::thread> threads;
         for (int c = 0; c < conns; ++c) {
             threads.emplace_back([&, c] {
-                Client client(host, port);
+                Client client(host, port,
+                              args.seed + 100 + static_cast<unsigned>(c));
                 Rng rng(args.seed + 1000 + static_cast<unsigned>(c));
                 const int mine = zipf_requests / conns +
                                  (c < zipf_requests % conns ? 1 : 0);
@@ -352,7 +427,7 @@ main(int argc, char **argv)
                     std::string b;
                     const auto t0 = Clock::now();
                     const bool sent =
-                        client.request(payloads[pick], st, b);
+                        client.requestWithRetry(payloads[pick], st, b);
                     latency.record(msSince(t0) * 1000.0);
                     tally.count(sent, st);
                 }
@@ -371,7 +446,8 @@ main(int argc, char **argv)
         std::vector<std::thread> threads;
         for (int c = 0; c < conns; ++c) {
             threads.emplace_back([&, c] {
-                Client client(host, port);
+                Client client(host, port,
+                              args.seed + 200 + static_cast<unsigned>(c));
                 Rng rng(args.seed + 2000 + static_cast<unsigned>(c));
                 const int mine = sweep_requests / conns +
                                  (c < sweep_requests % conns ? 1 : 0);
@@ -381,7 +457,7 @@ main(int argc, char **argv)
                     int st = 0;
                     std::string b;
                     const auto t0 = Clock::now();
-                    const bool sent = client.request(p, st, b);
+                    const bool sent = client.requestWithRetry(p, st, b);
                     latency.record(msSince(t0) * 1000.0);
                     tally.count(sent, st);
                 }
@@ -400,7 +476,8 @@ main(int argc, char **argv)
         std::vector<std::thread> threads;
         for (int c = 0; c < conns; ++c) {
             threads.emplace_back([&, c] {
-                Client client(host, port);
+                Client client(host, port,
+                              args.seed + 300 + static_cast<unsigned>(c));
                 Rng rng(args.seed + 3000 + static_cast<unsigned>(c));
                 for (int b = 0; b < bursts; ++b) {
                     std::this_thread::sleep_for(
@@ -411,8 +488,8 @@ main(int argc, char **argv)
                         int st = 0;
                         std::string bd;
                         const auto t0 = Clock::now();
-                        const bool sent =
-                            client.request(payloads[pick], st, bd);
+                        const bool sent = client.requestWithRetry(
+                            payloads[pick], st, bd);
                         const double us = msSince(t0) * 1000.0;
                         latency.record(us);
                         burstLatency.record(us);
@@ -466,6 +543,151 @@ main(int argc, char **argv)
             client.request(get("/healthz"), st, b) && st == 200;
         if (!aliveAfter)
             malformedStructured = false;
+    }
+
+    // ------------------------------------------------- fault scenario
+    // A dedicated store-backed server (always in-process, even under
+    // --connect: the fault injector is process-global) is marched
+    // through a disk-fault episode. Requests are full=1 with unique
+    // angles so every one bypasses the template tier and must talk to
+    // the disk tier -- the traffic shape that exercises the breaker.
+    const int fault_phase = args.quick ? 24 : 60;
+    std::uint64_t fault5xx = 0;
+    std::uint64_t faultTransport = 0;
+    double f_storeErrors = 0.0, f_degradedSkips = 0.0;
+    double f_recoveries = 0.0, f_diskHits = 0.0, f_records = 0.0;
+    bool faultDegraded = false, faultRecovered = false;
+    bool faultHealthz = false, faultDrain = false;
+    bool faultPartition = false, faultRestart = true;
+    {
+        const std::string storePath =
+            format("/tmp/qompress_loadgen_fault_%d.qst",
+                   static_cast<int>(::getpid()));
+        ::unlink(storePath.c_str());
+        ServerOptions fopts;
+        fopts.port = 0;
+        fopts.workers = 2;
+        fopts.service.storePath = storePath;
+        fopts.service.storeErrorThreshold = 3;
+        fopts.service.storeCooldownMs = 50.0;
+        auto fsrv = std::make_unique<QompressServer>(fopts);
+        fsrv->start();
+        Client fc("127.0.0.1", fsrv->port(), args.seed + 77);
+        Rng rng(args.seed + 4000);
+
+        auto drive = [&](int n, std::vector<std::string> *save) {
+            for (int i = 0; i < n; ++i) {
+                const std::string p = postCompile(
+                    rerollAngles(sweepBase, rng).toQasm(), "?full=1");
+                if (save)
+                    save->push_back(p);
+                int st = 0;
+                std::string b;
+                if (!fc.requestWithRetry(p, st, b))
+                    ++faultTransport;
+                else if (st >= 500)
+                    ++fault5xx;
+            }
+        };
+
+        // Phase A, healthy: unique full compiles write-behind into the
+        // store. Their payloads are kept for the recovery phase.
+        std::vector<std::string> phaseA;
+        drive(fault_phase, &phaseA);
+
+        // Phase B, faulted: every store read and write fails with EIO.
+        // The breaker must open after 3 consecutive errors; requests
+        // keep compiling from scratch and keep answering 200.
+        {
+            FaultInjector inj(args.seed + 5000);
+            FaultSpec eio;
+            eio.kind = FaultKind::Fail;
+            eio.err = EIO;
+            inj.arm("store.pwrite", eio);
+            inj.arm("store.pread", eio);
+            ScopedFaultInjection scoped(inj);
+            drive(fault_phase, nullptr);
+            int st = 0;
+            std::string b;
+            fc.request(get("/metrics"), st, b);
+            faultDegraded =
+                scrapeString(b, "service", "tierState") == "degraded";
+            f_storeErrors = scrape(b, "service", "storeErrors");
+            f_degradedSkips = scrape(b, "service", "degradedSkips");
+            // Health stays 200 (memory tiers serve) but names the state.
+            fc.request(get("/healthz"), st, b);
+            faultHealthz =
+                st == 200 && b.find("degraded") != std::string::npos;
+        }
+
+        // Phase C, recovered: faults gone, cooldown elapsed. Clearing
+        // the memo cache turns the phase A repeats into disk reads, so
+        // the first one carries the half-open probe that re-closes the
+        // breaker and the rest are served as diskHits.
+        std::this_thread::sleep_for(std::chrono::milliseconds(120));
+        fsrv->service().clearCache();
+        for (const std::string &p : phaseA) {
+            int st = 0;
+            std::string b;
+            if (!fc.requestWithRetry(p, st, b))
+                ++faultTransport;
+            else if (st >= 500)
+                ++fault5xx;
+        }
+        {
+            int st = 0;
+            std::string b;
+            fc.request(get("/metrics"), st, b);
+            faultRecovered =
+                scrapeString(b, "service", "tierState") == "ok";
+            f_recoveries = scrape(b, "service", "recoveries");
+            f_diskHits = scrape(b, "service", "diskHits");
+            faultPartition =
+                scrape(b, "service", "requests") ==
+                scrape(b, "service", "hits") +
+                    scrape(b, "service", "templateHits") +
+                    scrape(b, "service", "diskHits") +
+                    scrape(b, "service", "misses") +
+                    scrape(b, "service", "coalesced");
+            // Draining: /healthz flips to 503 + Retry-After before
+            // stop(), the signal load balancers bleed traffic on.
+            fsrv->beginDrain();
+            fc.request(get("/healthz"), st, b);
+            faultDrain =
+                st == 503 && b.find("draining") != std::string::npos;
+        }
+        fsrv->stop();
+        fsrv.reset();
+
+        // Cold restart over the log the faults battered: every record
+        // that survived must load and decode.
+        try {
+            ArtifactStore store(storePath);
+            f_records = static_cast<double>(store.records());
+            if (store.records() == 0)
+                faultRestart = false;
+            for (const ArtifactKey &key : store.keys()) {
+                std::vector<std::uint8_t> blob;
+                if (store.loadStatus(key, blob) != StoreStatus::Ok) {
+                    faultRestart = false;
+                    continue;
+                }
+                try {
+                    (void)decodeCompileResult(blob);
+                } catch (const FatalError &) {
+                    faultRestart = false;
+                }
+            }
+        } catch (const FatalError &) {
+            faultRestart = false;
+        }
+        ::unlink(storePath.c_str());
+        std::printf("loadgen: fault scenario: %d+%d+%zu requests, "
+                    "%llu 5xx, storeErrors %.0f, recoveries %.0f, "
+                    "diskHits %.0f, records %.0f\n",
+                    fault_phase, fault_phase, phaseA.size(),
+                    static_cast<unsigned long long>(fault5xx),
+                    f_storeErrors, f_recoveries, f_diskHits, f_records);
     }
 
     // ------------------------------------------------------- metrics
@@ -525,6 +747,29 @@ main(int argc, char **argv)
               "kept serving");
         check(server_p99 > 0.0, "server-side p99 latency reported");
         check(lat.p99_us > 0.0, "client-side p99 latency reported");
+        check(fault5xx == 0 && faultTransport == 0,
+              "fault scenario: zero 5xx/transport errors under disk "
+              "faults");
+        check(f_storeErrors > 0.0,
+              "fault scenario: /metrics surfaced storeErrors > 0");
+        check(faultDegraded,
+              "fault scenario: disk tier degraded under sustained "
+              "faults");
+        check(faultHealthz,
+              "fault scenario: /healthz reported degraded (still 200)");
+        check(faultRecovered && f_recoveries > 0.0,
+              "fault scenario: tier recovered after faults cleared");
+        check(f_diskHits > 0.0,
+              "fault scenario: recovered tier served disk hits");
+        check(faultPartition,
+              "fault scenario: ServiceStats partition held through the "
+              "episode");
+        check(faultDrain,
+              "fault scenario: /healthz answered 503 draining after "
+              "beginDrain()");
+        check(faultRestart,
+              "fault scenario: cold restart recovered the log and every "
+              "record decodes");
         if (g_failures > 0) {
             std::printf("check: %d FAILURE(S)\n", g_failures);
             return 1;
@@ -566,6 +811,12 @@ main(int argc, char **argv)
         "    \"loadgen_coalesced\": %.0f,\n"
         "    \"loadgen_shed\": %.0f,\n"
         "    \"loadgen_server_p99_us\": %.1f,\n"
+        "    \"loadgen_fault_5xx\": %llu,\n"
+        "    \"loadgen_fault_store_errors\": %.0f,\n"
+        "    \"loadgen_fault_degraded_skips\": %.0f,\n"
+        "    \"loadgen_fault_recoveries\": %.0f,\n"
+        "    \"loadgen_fault_disk_hits\": %.0f,\n"
+        "    \"loadgen_fault_store_records\": %.0f,\n"
         "    \"loadgen_conns\": %d\n"
         "  }\n"
         "}\n",
@@ -579,7 +830,9 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(tally.transport.load()),
         lat.p50_us, lat.p99_us, lat.max_us, blat.p50_us, blat.p99_us,
         d_hits, d_template, d_misses, d_coalesced, server_shed,
-        server_p99, conns);
+        server_p99, static_cast<unsigned long long>(fault5xx),
+        f_storeErrors, f_degradedSkips, f_recoveries, f_diskHits,
+        f_records, conns);
 
     if (!args.out.empty()) {
         std::FILE *f = std::fopen(args.out.c_str(), "w");

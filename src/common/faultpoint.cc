@@ -1,0 +1,116 @@
+#include "common/faultpoint.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace qompress {
+
+namespace detail {
+std::atomic<FaultInjector *> g_faultInjector{nullptr};
+} // namespace detail
+
+void
+FaultInjector::arm(const std::string &point, FaultSpec spec)
+{
+    QFATAL_IF(spec.kind == FaultKind::ShortIo && spec.bytes == 0,
+              "ShortIo faults must transfer at least one byte (bytes=0 "
+              "would turn retry loops into spins); use Fail instead");
+    std::lock_guard<std::mutex> lk(mu_);
+    PointState &st = points_[point];
+    st.specs.push_back(spec);
+    st.specFires.push_back(0);
+}
+
+void
+FaultInjector::disarm(const std::string &point)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = points_.find(point);
+    if (it == points_.end())
+        return;
+    it->second.specs.clear();
+    it->second.specFires.clear();
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    points_.clear();
+}
+
+std::uint64_t
+FaultInjector::calls(const std::string &point) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.calls;
+}
+
+std::uint64_t
+FaultInjector::fires(const std::string &point) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = points_.find(point);
+    return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string>
+FaultInjector::touchedPoints() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> names;
+    names.reserve(points_.size());
+    for (const auto &entry : points_)
+        names.push_back(entry.first);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+FaultInjector::install()
+{
+    FaultInjector *expected = nullptr;
+    QPANIC_IF(!detail::g_faultInjector.compare_exchange_strong(
+                  expected, this, std::memory_order_release,
+                  std::memory_order_relaxed),
+              "a FaultInjector is already installed");
+}
+
+void
+FaultInjector::uninstall()
+{
+    detail::g_faultInjector.store(nullptr, std::memory_order_release);
+}
+
+FaultFire
+FaultInjector::check(const char *point)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    PointState &st = points_[point];
+    ++st.calls;
+    for (std::size_t i = 0; i < st.specs.size(); ++i) {
+        const FaultSpec &spec = st.specs[i];
+        if (spec.limit != 0 && st.specFires[i] >= spec.limit)
+            continue;
+        if (spec.nth != 0) {
+            if (st.calls != spec.nth)
+                continue;
+        } else if (spec.probability < 1.0 &&
+                   rng_.nextDouble() >= spec.probability) {
+            continue;
+        }
+        ++st.specFires[i];
+        ++st.fires;
+        FaultFire fire;
+        fire.fired = true;
+        fire.kind = spec.kind;
+        fire.err = spec.kind == FaultKind::Eintr ? EINTR : spec.err;
+        fire.bytes = spec.bytes;
+        return fire;
+    }
+    return FaultFire{};
+}
+
+} // namespace qompress

@@ -97,6 +97,12 @@ bool httpSendAll(int fd, const std::string &data);
  */
 bool httpReadResponse(int fd, std::string &leftover, int &status,
                       std::string &body, int timeoutMs = 30000);
+
+/** Same, but also surfaces the response headers (names lower-cased)
+ *  so clients can honor Retry-After and friends. */
+bool httpReadResponse(int fd, std::string &leftover, int &status,
+                      std::map<std::string, std::string> &headers,
+                      std::string &body, int timeoutMs = 30000);
 /** @} */
 
 } // namespace qompress

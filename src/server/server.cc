@@ -149,6 +149,7 @@ QompressServer::start()
     listenFd_.store(fd);
 
     stopping_.store(false);
+    draining_.store(false);
     running_.store(true);
     acceptor_ = std::thread([this] { acceptLoop(); });
     workers_.reserve(static_cast<std::size_t>(opts_.workers));
@@ -161,6 +162,9 @@ QompressServer::stop()
 {
     if (!running_.load())
         return;
+    // Draining first: any /healthz answered while workers wind down
+    // already reports the truth.
+    draining_.store(true);
     stopping_.store(true);
     // Closing the listen socket unblocks the acceptor's poll/accept.
     if (const int fd = listenFd_.exchange(-1); fd >= 0) {
@@ -338,10 +342,24 @@ QompressServer::handleRequest(const HttpRequest &req)
     Reply reply;
     try {
         if (req.path == "/healthz") {
-            if (req.method != "GET" && req.method != "HEAD")
+            if (req.method != "GET" && req.method != "HEAD") {
                 reply = errorReply(405, "method", "use GET /healthz");
-            else
-                reply.body = "{\"status\": \"ok\"}";
+            } else if (draining_.load()) {
+                // 503 so load balancers eject the instance; requests
+                // already here still complete (drain, then stop()).
+                reply.status = 503;
+                reply.body = "{\"status\": \"draining\"}";
+                reply.headers.emplace_back("Retry-After", "1");
+            } else {
+                // Degraded (disk tier breaker open) stays 200: memory
+                // tiers serve every request, only warm restarts and
+                // cross-restart reuse are impaired. The body tells
+                // operators which of the two healthy states this is.
+                const DiskTierState tier = service_.stats().tierState;
+                reply.body = tier == DiskTierState::Degraded
+                                 ? "{\"status\": \"degraded\"}"
+                                 : "{\"status\": \"ok\"}";
+            }
         } else if (req.path == "/metrics") {
             if (req.method != "GET")
                 reply = errorReply(405, "method", "use GET /metrics");
@@ -538,6 +556,8 @@ QompressServer::metricsJson() const
         "\"diskWrites\": %llu, \"sizeEvictions\": %llu, "
         "\"bytesInUse\": %zu, \"bytesCapacity\": %zu, "
         "\"storeRecords\": %zu, \"storeBytes\": %llu, "
+        "\"storeErrors\": %llu, \"degradedSkips\": %llu, "
+        "\"recoveries\": %llu, \"tierState\": \"%s\", "
         "\"contextsCreated\": %llu, "
         "\"contextsReused\": %llu, \"pooledContexts\": %zu}\n"
         "}\n",
@@ -567,6 +587,10 @@ QompressServer::metricsJson() const
         static_cast<unsigned long long>(st.sizeEvictions),
         st.bytesInUse, st.bytesCapacity, st.storeRecords,
         static_cast<unsigned long long>(st.storeBytes),
+        static_cast<unsigned long long>(st.storeErrors),
+        static_cast<unsigned long long>(st.degradedSkips),
+        static_cast<unsigned long long>(st.recoveries),
+        diskTierStateName(st.tierState),
         static_cast<unsigned long long>(st.contextsCreated),
         static_cast<unsigned long long>(st.contextsReused),
         st.pooledContexts);

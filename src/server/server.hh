@@ -22,7 +22,12 @@
  *                            plus the same knobs as POST
  *   GET  /metrics            server counters + latency histogram +
  *                            the full ServiceStats snapshot, as JSON
- *   GET  /healthz            liveness probe
+ *   GET  /healthz            health probe; body {"status": "..."} is
+ *                            "ok" (fully healthy), "degraded" (disk
+ *                            tier circuit breaker open, memory tiers
+ *                            still serving; still 200) or "draining"
+ *                            (503 + Retry-After: shutdown has begun,
+ *                            stop sending traffic)
  *   POST /debug/sleep?ms=N   only with ServerOptions::debugEndpoints;
  *                            occupies a worker (overload testing)
  *
@@ -143,8 +148,20 @@ class QompressServer
      *  FatalError when the address cannot be bound. */
     void start();
 
-    /** Graceful shutdown (idempotent; see the file comment). */
+    /** Graceful shutdown (idempotent; see the file comment). Implies
+     *  beginDrain(), so /healthz flips to draining the moment stop()
+     *  starts, before any worker is joined. */
     void stop();
+
+    /**
+     * Flip /healthz to "draining" (503) without stopping anything:
+     * load balancers see the signal and bleed traffic away while
+     * in-flight and newly arriving requests still complete. Call it
+     * a grace period before stop() for zero-error rolling restarts.
+     */
+    void beginDrain() { draining_.store(true); }
+
+    bool draining() const { return draining_.load(); }
 
     /** The bound port (after start()). */
     int port() const { return port_; }
@@ -181,6 +198,7 @@ class QompressServer
     int port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
 
     std::thread acceptor_;
     std::vector<std::thread> workers_;

@@ -4,11 +4,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "common/error.hh"
+#include "common/faultpoint.hh"
 
 namespace qompress {
 
@@ -26,12 +28,141 @@ constexpr std::uint64_t kFrameHeaderBytes = 16;
 /** Store prefix: magic + artifact format version. */
 constexpr std::uint64_t kStoreHeaderBytes = 8;
 
+// Every syscall below consults its named fault point first, so the
+// fault-matrix tests can fail any call at any index. A fired Eintr is
+// delivered as -1/EINTR (the retry loops absorb it); a fired ShortIo
+// on a transfer clips the byte count (still a successful syscall); a
+// fired ShortIo on a non-transfer call degrades to a plain failure.
+
+int
+xopen(const char *path, int flags, mode_t mode)
+{
+    for (;;) {
+        const FaultFire f = QFAULT_POINT("store.open");
+        if (f.fired && f.kind == FaultKind::Eintr)
+            continue;
+        if (f.fired) {
+            errno = f.err;
+            return -1;
+        }
+        const int fd = ::open(path, flags, mode);
+        if (fd < 0 && errno == EINTR)
+            continue;
+        return fd;
+    }
+}
+
+int
+xfstat(int fd, struct stat *st)
+{
+    const FaultFire f = QFAULT_POINT("store.fstat");
+    if (f.fired) {
+        errno = f.err;
+        return -1;
+    }
+    return ::fstat(fd, st);
+}
+
+ssize_t
+xpread(int fd, void *buf, std::size_t n, std::uint64_t off)
+{
+    const FaultFire f = QFAULT_POINT("store.pread");
+    if (f.fired) {
+        if (f.kind != FaultKind::ShortIo) {
+            errno = f.err;
+            return -1;
+        }
+        n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, f.bytes));
+    }
+    return ::pread(fd, buf, n, static_cast<off_t>(off));
+}
+
+ssize_t
+xpwrite(int fd, const void *buf, std::size_t n, std::uint64_t off)
+{
+    const FaultFire f = QFAULT_POINT("store.pwrite");
+    if (f.fired) {
+        if (f.kind != FaultKind::ShortIo) {
+            errno = f.err;
+            return -1;
+        }
+        n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(n, f.bytes));
+    }
+    return ::pwrite(fd, buf, n, static_cast<off_t>(off));
+}
+
+int
+xfsync(int fd)
+{
+    for (;;) {
+        const FaultFire f = QFAULT_POINT("store.fsync");
+        if (f.fired && f.kind == FaultKind::Eintr)
+            continue;
+        if (f.fired) {
+            errno = f.err;
+            return -1;
+        }
+        const int rc = ::fsync(fd);
+        if (rc != 0 && errno == EINTR)
+            continue;
+        return rc;
+    }
+}
+
+int
+xftruncate(int fd, std::uint64_t len)
+{
+    const FaultFire f = QFAULT_POINT("store.ftruncate");
+    if (f.fired) {
+        errno = f.err;
+        return -1;
+    }
+    return ::ftruncate(fd, static_cast<off_t>(len));
+}
+
+int
+xrename(const char *from, const char *to)
+{
+    const FaultFire f = QFAULT_POINT("store.rename");
+    if (f.fired) {
+        errno = f.err;
+        return -1;
+    }
+    return ::rename(from, to);
+}
+
+int
+xunlink(const char *path)
+{
+    const FaultFire f = QFAULT_POINT("store.unlink");
+    if (f.fired) {
+        errno = f.err;
+        return -1;
+    }
+    return ::unlink(path);
+}
+
+int
+xclose(int fd)
+{
+    const FaultFire f = QFAULT_POINT("store.close");
+    if (f.fired) {
+        errno = f.err;
+        return -1;
+    }
+    return ::close(fd);
+}
+
 bool
 preadExact(int fd, void *buf, std::size_t n, std::uint64_t off)
 {
     auto *p = static_cast<std::uint8_t *>(buf);
     while (n > 0) {
-        const ssize_t got = ::pread(fd, p, n, static_cast<off_t>(off));
+        const ssize_t got = xpread(fd, p, n, off);
+        if (got < 0 && errno == EINTR)
+            continue; // interrupted, not failed: retry the same range
         if (got <= 0)
             return false;
         p += got;
@@ -46,7 +177,9 @@ pwriteExact(int fd, const void *buf, std::size_t n, std::uint64_t off)
 {
     const auto *p = static_cast<const std::uint8_t *>(buf);
     while (n > 0) {
-        const ssize_t put = ::pwrite(fd, p, n, static_cast<off_t>(off));
+        const ssize_t put = xpwrite(fd, p, n, off);
+        if (put < 0 && errno == EINTR)
+            continue; // interrupted, not failed: retry the same range
         if (put <= 0)
             return false;
         p += put;
@@ -71,9 +204,47 @@ frameFor(const ArtifactKey &key, const std::vector<std::uint8_t> &blob)
     return frame.take();
 }
 
+/** Directory holding @p path ("." for a bare filename). */
+std::string
+dirOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
 } // namespace
 
-ArtifactStore::ArtifactStore(std::string path) : path_(std::move(path))
+FsyncPolicy
+fsyncPolicyFromString(const std::string &name)
+{
+    if (name == "never")
+        return FsyncPolicy::Never;
+    if (name == "interval")
+        return FsyncPolicy::Interval;
+    if (name == "always")
+        return FsyncPolicy::Always;
+    QFATAL("unknown fsync policy '", name,
+           "' (expected never|interval|always)");
+}
+
+const char *
+fsyncPolicyName(FsyncPolicy policy)
+{
+    switch (policy) {
+    case FsyncPolicy::Never:
+        return "never";
+    case FsyncPolicy::Interval:
+        return "interval";
+    case FsyncPolicy::Always:
+        return "always";
+    }
+    return "?";
+}
+
+ArtifactStore::ArtifactStore(std::string path, StoreOptions opts)
+    : path_(std::move(path)), opts_(opts)
 {
     std::lock_guard<std::mutex> lk(mu_);
     openAndRecoverLocked();
@@ -82,18 +253,23 @@ ArtifactStore::ArtifactStore(std::string path) : path_(std::move(path))
 ArtifactStore::~ArtifactStore()
 {
     if (fd_ >= 0)
-        ::close(fd_);
+        (void)xclose(fd_); // nothing sane to do with a close failure
 }
 
 void
 ArtifactStore::openAndRecoverLocked()
 {
-    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    // A crashed prior compaction may have left its temp file behind;
+    // it is garbage by definition (rename never happened), so clear it
+    // before it can shadow a future compact(). ENOENT is the norm.
+    (void)xunlink((path_ + ".compact.tmp").c_str());
+
+    fd_ = xopen(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
     QFATAL_IF(fd_ < 0, "cannot open artifact store '", path_,
               "': ", std::strerror(errno));
 
     struct stat st;
-    QFATAL_IF(::fstat(fd_, &st) != 0, "cannot stat artifact store '",
+    QFATAL_IF(xfstat(fd_, &st) != 0, "cannot stat artifact store '",
               path_, "': ", std::strerror(errno));
     const auto file_size = static_cast<std::uint64_t>(st.st_size);
 
@@ -112,7 +288,7 @@ ArtifactStore::openAndRecoverLocked()
         ByteWriter hdr;
         hdr.u32(kStoreMagic);
         hdr.u32(kArtifactFormatVersion);
-        QFATAL_IF(::ftruncate(fd_, 0) != 0 ||
+        QFATAL_IF(xftruncate(fd_, 0) != 0 ||
                       !pwriteExact(fd_, hdr.data().data(), hdr.size(), 0),
                   "cannot initialize artifact store '", path_,
                   "': ", std::strerror(errno));
@@ -165,9 +341,25 @@ ArtifactStore::openAndRecoverLocked()
         // Drop the torn tail so future appends start on a clean
         // frame boundary. Failure here is not fatal: the scan already
         // ignores everything past end_, appends just go further out.
-        if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0)
+        if (xftruncate(fd_, end_) != 0)
             end_ = file_size;
     }
+}
+
+bool
+ArtifactStore::syncAppendLocked(std::uint64_t appended)
+{
+    if (opts_.fsync == FsyncPolicy::Never)
+        return true;
+    unsynced_ += appended;
+    if (opts_.fsync == FsyncPolicy::Interval &&
+        unsynced_ < opts_.fsyncIntervalBytes)
+        return true;
+    ++fsyncs_;
+    if (xfsync(fd_) != 0)
+        return false;
+    unsynced_ = 0;
+    return true;
 }
 
 bool
@@ -181,7 +373,16 @@ ArtifactStore::put(const ArtifactKey &key,
     if (!pwriteExact(fd_, frame.data(), frame.size(), end_)) {
         // A partial append leaves a torn tail; recovery handles it,
         // but trim now so this process's next put starts clean.
-        (void)::ftruncate(fd_, static_cast<off_t>(end_));
+        ++ioErrors_;
+        (void)xftruncate(fd_, end_);
+        return false;
+    }
+    if (!syncAppendLocked(frame.size())) {
+        // The bytes are written but not durable; report failure (the
+        // caller acknowledged nothing) and drop the frame so a false
+        // put never leaves a record this process would serve.
+        ++ioErrors_;
+        (void)xftruncate(fd_, end_);
         return false;
     }
     Slot slot;
@@ -203,16 +404,21 @@ ArtifactStore::readBlobLocked(const Slot &slot,
     return preadExact(fd_, out.data(), out.size(), slot.offset);
 }
 
-bool
-ArtifactStore::load(const ArtifactKey &key, std::vector<std::uint8_t> &out)
+StoreStatus
+ArtifactStore::loadStatus(const ArtifactKey &key,
+                          std::vector<std::uint8_t> &out)
 {
     std::lock_guard<std::mutex> lk(mu_);
     if (fd_ < 0)
-        return false;
+        return StoreStatus::Error;
     const auto it = index_.find(key);
     if (it == index_.end())
-        return false;
-    return readBlobLocked(it->second, out);
+        return StoreStatus::Miss;
+    if (!readBlobLocked(it->second, out)) {
+        ++ioErrors_;
+        return StoreStatus::Error;
+    }
+    return StoreStatus::Ok;
 }
 
 bool
@@ -222,11 +428,41 @@ ArtifactStore::contains(const ArtifactKey &key)
     return index_.count(key) > 0;
 }
 
+bool
+ArtifactStore::probe()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fd_ < 0)
+        return false;
+    std::uint8_t hdr[kStoreHeaderBytes];
+    if (!preadExact(fd_, hdr, sizeof hdr, 0)) {
+        ++ioErrors_;
+        return false;
+    }
+    ByteReader r(hdr, sizeof hdr, "artifact store header");
+    if (r.u32() != kStoreMagic || r.u32() != kArtifactFormatVersion) {
+        ++ioErrors_;
+        return false;
+    }
+    return true;
+}
+
 std::size_t
 ArtifactStore::records()
 {
     std::lock_guard<std::mutex> lk(mu_);
     return index_.size();
+}
+
+std::vector<ArtifactKey>
+ArtifactStore::keys()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<ArtifactKey> out;
+    out.reserve(index_.size());
+    for (const auto &entry : index_)
+        out.push_back(entry.first);
+    return out;
 }
 
 std::size_t
@@ -243,6 +479,20 @@ ArtifactStore::bytesOnDisk()
     return end_;
 }
 
+std::uint64_t
+ArtifactStore::ioErrors()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return ioErrors_;
+}
+
+std::uint64_t
+ArtifactStore::fsyncs()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return fsyncs_;
+}
+
 void
 ArtifactStore::compact()
 {
@@ -251,9 +501,8 @@ ArtifactStore::compact()
         return;
 
     const std::string tmp_path = path_ + ".compact.tmp";
-    const int tmp =
-        ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
-               0644);
+    const int tmp = xopen(tmp_path.c_str(),
+                          O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
     QFATAL_IF(tmp < 0, "cannot create '", tmp_path,
               "' for compaction: ", std::strerror(errno));
 
@@ -281,21 +530,46 @@ ArtifactStore::compact()
         out_off += frame.size();
     }
 
+    // The rewritten log must be on disk BEFORE the rename: otherwise
+    // a crash between rename and writeback could leave the store's
+    // only name pointing at an empty (or partial) file.
+    if (ok) {
+        ++fsyncs_;
+        ok = xfsync(tmp) == 0;
+    }
+
     if (!ok) {
-        ::close(tmp);
-        ::unlink(tmp_path.c_str());
+        ++ioErrors_;
+        (void)xclose(tmp);
+        (void)xunlink(tmp_path.c_str());
         QFATAL("compaction of artifact store '", path_,
                "' failed: ", std::strerror(errno));
     }
-    if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-        ::close(tmp);
-        ::unlink(tmp_path.c_str());
+    if (xrename(tmp_path.c_str(), path_.c_str()) != 0) {
+        ++ioErrors_;
+        const std::string why = std::strerror(errno);
+        (void)xclose(tmp);
+        (void)xunlink(tmp_path.c_str());
         QFATAL("cannot rename '", tmp_path, "' over '", path_,
-               "': ", std::strerror(errno));
+               "': ", why);
     }
-    ::close(fd_);
+    // Make the swap itself durable: the rename lives in the directory,
+    // so sync that too. Best-effort -- both the old and the new log
+    // are valid stores, so a lost rename only costs the compaction.
+    const int dirfd = xopen(dirOf(path_).c_str(),
+                            O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
+    if (dirfd >= 0) {
+        ++fsyncs_;
+        if (xfsync(dirfd) != 0)
+            ++ioErrors_;
+        (void)xclose(dirfd);
+    } else {
+        ++ioErrors_;
+    }
+    (void)xclose(fd_);
     fd_ = tmp;
     end_ = out_off;
+    unsynced_ = 0;
     dead_ = 0;
     index_ = std::move(new_index);
 }

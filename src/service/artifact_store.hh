@@ -26,6 +26,26 @@
  * frame wins on recovery too); the superseded frame stays on disk as a
  * dead record until compact() rewrites the log with only live frames.
  *
+ * Failure seams: every syscall the store makes (open, fstat, pread,
+ * pwrite, fsync, ftruncate, rename, unlink, close) goes through a
+ * named fault point (common/faultpoint.hh, "store.<syscall>"), so the
+ * fault-matrix tests can fail any call at any index and prove the
+ * outcome is always a false return or a FatalError -- never a
+ * PanicError, a crash, or a corrupted log. EINTR from pread/pwrite/
+ * open/fsync is retried transparently; it is an interruption, not a
+ * failure. put() and load() report failures by return value and also
+ * bump ioErrors() -- the signal the service's disk-tier circuit
+ * breaker trips on.
+ *
+ * Durability: by default (FsyncPolicy::Never) appends are not synced
+ * -- the log is a cache and the torn-tail recovery above bounds the
+ * loss to un-synced frames. FsyncPolicy::Always fsyncs after every
+ * append; Interval fsyncs once at least fsyncIntervalBytes have been
+ * appended since the last sync. compact() always fsyncs the rewritten
+ * temp file before rename and the directory after it, so the swap
+ * itself cannot be lost to a crash, and open() removes a stale temp
+ * file a crashed prior compaction may have left behind.
+ *
  * All methods are thread-safe behind one mutex; reads use pread so
  * concurrent loads never race on a shared file position.
  */
@@ -43,6 +63,38 @@
 
 namespace qompress {
 
+/** When the store fsyncs its log (see the file comment). */
+enum class FsyncPolicy
+{
+    Never,    ///< never sync appends (recovery bounds the loss)
+    Interval, ///< sync once per fsyncIntervalBytes of appends
+    Always,   ///< sync after every append (acknowledged == durable)
+};
+
+/** Parse "never" | "interval" | "always"; throws FatalError else. */
+FsyncPolicy fsyncPolicyFromString(const std::string &name);
+
+/** The inverse (for logs and /metrics). */
+const char *fsyncPolicyName(FsyncPolicy policy);
+
+/** Store construction knobs. */
+struct StoreOptions
+{
+    FsyncPolicy fsync = FsyncPolicy::Never;
+
+    /** Appended bytes between syncs under FsyncPolicy::Interval. */
+    std::uint64_t fsyncIntervalBytes = 1 << 20;
+};
+
+/** Tri-state load outcome: a Miss proves nothing about disk health,
+ *  an Error does -- the circuit breaker needs the distinction. */
+enum class StoreStatus
+{
+    Ok,    ///< key present, blob read
+    Miss,  ///< key absent (no I/O performed)
+    Error, ///< key present but the read failed (disk trouble)
+};
+
 class ArtifactStore
 {
   public:
@@ -51,7 +103,7 @@ class ArtifactStore
      * intact prefix. Throws FatalError if the file cannot be opened
      * or created -- that is user configuration, not corruption.
      */
-    explicit ArtifactStore(std::string path);
+    explicit ArtifactStore(std::string path, StoreOptions opts = {});
     ~ArtifactStore();
 
     ArtifactStore(const ArtifactStore &) = delete;
@@ -59,21 +111,40 @@ class ArtifactStore
 
     /**
      * Append @p blob (an encodeCompileResult record) under @p key.
-     * Returns false -- without throwing -- if the disk write fails;
-     * persistence is best-effort and must never take the service down.
+     * Returns false -- without throwing -- if the disk write (or a
+     * required fsync) fails; persistence is best-effort and must
+     * never take the service down.
      */
     bool put(const ArtifactKey &key, const std::vector<std::uint8_t> &blob);
 
     /**
-     * Fetch the blob stored under @p key into @p out. Returns false if
-     * the key is absent or the read fails.
+     * Fetch the blob stored under @p key into @p out, reporting
+     * whether a false outcome was an absence or an I/O failure.
      */
-    bool load(const ArtifactKey &key, std::vector<std::uint8_t> &out);
+    StoreStatus loadStatus(const ArtifactKey &key,
+                           std::vector<std::uint8_t> &out);
+
+    /** loadStatus collapsed to a bool (absence == failure). */
+    bool load(const ArtifactKey &key, std::vector<std::uint8_t> &out)
+    {
+        return loadStatus(key, out) == StoreStatus::Ok;
+    }
 
     bool contains(const ArtifactKey &key);
 
+    /**
+     * Cheap health probe: re-read the 8-byte store header and verify
+     * the magic. True means the disk answered correctly just now --
+     * the signal a degraded tier re-closes its breaker on.
+     */
+    bool probe();
+
     /** Live (indexed) records. */
     std::size_t records();
+
+    /** Every live key (unspecified order); lets integrity sweeps load
+     *  and decode the whole store without private index access. */
+    std::vector<ArtifactKey> keys();
 
     /** Superseded frames still occupying disk until compact(). */
     std::size_t deadRecords();
@@ -81,10 +152,18 @@ class ArtifactStore
     /** Current log size in bytes (header + all frames, dead included). */
     std::uint64_t bytesOnDisk();
 
+    /** Syscall-level failures observed by put/load/probe (the breaker
+     *  input; monotonic). */
+    std::uint64_t ioErrors();
+
+    /** fsync calls issued so far (policy + compact barriers). */
+    std::uint64_t fsyncs();
+
     /**
-     * Rewrite the log with only live frames (temp file + rename, so a
-     * crash mid-compact leaves either the old or the new log, never a
-     * mix). Throws FatalError if the rewrite fails.
+     * Rewrite the log with only live frames (temp file + fsync +
+     * rename + directory fsync, so a crash mid-compact leaves either
+     * the old or the new log, never a mix, and the swap is durable).
+     * Throws FatalError if the rewrite fails.
      */
     void compact();
 
@@ -99,12 +178,17 @@ class ArtifactStore
 
     void openAndRecoverLocked();
     bool readBlobLocked(const Slot &slot, std::vector<std::uint8_t> &out);
+    bool syncAppendLocked(std::uint64_t appended);
 
     std::string path_;
+    StoreOptions opts_;
     std::mutex mu_;
     int fd_ = -1;
     std::uint64_t end_ = 0; ///< append offset == intact byte count
+    std::uint64_t unsynced_ = 0; ///< appended since the last fsync
     std::size_t dead_ = 0;
+    std::uint64_t ioErrors_ = 0;
+    std::uint64_t fsyncs_ = 0;
     std::unordered_map<ArtifactKey, Slot, ArtifactKeyHash> index_;
 };
 

@@ -9,6 +9,20 @@
 
 namespace qompress {
 
+const char *
+diskTierStateName(DiskTierState state)
+{
+    switch (state) {
+    case DiskTierState::Off:
+        return "off";
+    case DiskTierState::Ok:
+        return "ok";
+    case DiskTierState::Degraded:
+        return "degraded";
+    }
+    return "?";
+}
+
 // ------------------------------------------------------------------
 // Component fingerprints
 // ------------------------------------------------------------------
@@ -118,8 +132,12 @@ CompileHandle::get() const
 CompilerService::CompilerService(ServiceOptions opts)
     : opts_(std::move(opts))
 {
-    if (!opts_.storePath.empty())
-        store_ = std::make_unique<ArtifactStore>(opts_.storePath);
+    if (!opts_.storePath.empty()) {
+        StoreOptions sopts;
+        sopts.fsync = opts_.storeFsync;
+        sopts.fsyncIntervalBytes = opts_.storeFsyncIntervalBytes;
+        store_ = std::make_unique<ArtifactStore>(opts_.storePath, sopts);
+    }
 }
 
 CompilerService::~CompilerService()
@@ -312,21 +330,37 @@ CompilerService::compileImpl(const CompileRequest &req)
     if (wait_on.valid())
         return wait_on.get(); // rethrows the owner's exception
 
-    // Disk tier: probed only after both in-memory tiers miss. The
-    // loaded blob doubles as the byte-budget charge below (its size IS
-    // the serialized size). A corrupt record decodes to FatalError and
-    // falls through to a fresh compile -- the store is a cache, never
-    // an authority.
+    // Disk tier: probed only after both in-memory tiers miss, and only
+    // when the circuit breaker admits it (a degraded store is skipped
+    // outright). The loaded blob doubles as the byte-budget charge
+    // below (its size IS the serialized size). A corrupt record
+    // decodes to FatalError and falls through to a fresh compile --
+    // the store is a cache, never an authority. An I/O error does the
+    // same, and additionally feeds the breaker.
     CompileArtifact artifact;
     std::vector<std::uint8_t> blob;
     bool from_disk = false;
-    if (!tmpl && store_ && store_->load(key, blob)) {
-        try {
-            artifact = std::make_shared<const CompileResult>(
-                decodeCompileResult(blob));
-            from_disk = true;
-        } catch (const FatalError &) {
-            blob.clear();
+    if (!tmpl && store_ && admitDiskRead()) {
+        const StoreStatus rc = store_->loadStatus(key, blob);
+        if (rc != StoreStatus::Miss) {
+            // A Miss is an index lookup -- it proves nothing about the
+            // disk, so only real reads feed the breaker.
+            std::lock_guard<std::mutex> lk(mu_);
+            if (rc == StoreStatus::Ok)
+                noteStoreSuccessLocked();
+            else
+                noteStoreErrorLocked();
+        }
+        if (rc == StoreStatus::Ok) {
+            try {
+                artifact = std::make_shared<const CompileResult>(
+                    decodeCompileResult(blob));
+                from_disk = true;
+            } catch (const FatalError &) {
+                blob.clear();
+            }
+        } else {
+            blob.clear(); // a failed read may have left partial bytes
         }
     }
 
@@ -363,8 +397,14 @@ CompilerService::compileImpl(const CompileRequest &req)
     if (!from_disk && (store_ || charge))
         blob = encodeCompileResult(*artifact);
     bool wrote = false;
-    if (store_ && !from_disk && !store_->contains(key))
+    if (store_ && !from_disk && !store_->contains(key) && admitDiskWrite()) {
         wrote = store_->put(key, blob);
+        std::lock_guard<std::mutex> lk(mu_);
+        if (wrote)
+            noteStoreSuccessLocked();
+        else
+            noteStoreErrorLocked();
+    }
     const std::size_t bytes = blob.size();
 
     // Extract a template from a successful full compile OR disk load
@@ -491,6 +531,76 @@ CompilerService::evictOverCapacityLocked()
     }
 }
 
+bool
+CompilerService::admitDiskRead()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!tierDegraded_)
+            return true;
+        const double down_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - degradedSince_)
+                .count();
+        if (down_ms < opts_.storeCooldownMs || probeInFlight_) {
+            ++degradedSkips_;
+            return false;
+        }
+        // Cooldown elapsed: this request becomes the single half-open
+        // probe. Everyone else keeps skipping until it resolves.
+        probeInFlight_ = true;
+    }
+    const bool ok = store_->probe();
+    std::lock_guard<std::mutex> lk(mu_);
+    probeInFlight_ = false;
+    if (ok) {
+        noteStoreSuccessLocked(); // re-closes the breaker
+        return true;
+    }
+    noteStoreErrorLocked(); // refreshes degradedSince_
+    ++degradedSkips_;
+    return false;
+}
+
+bool
+CompilerService::admitDiskWrite()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!tierDegraded_)
+        return true;
+    // Writes never probe: write-behind is optional, so recovery is the
+    // read path's job and a broken disk costs misses one syscall, not
+    // one syscall per would-be persist.
+    ++degradedSkips_;
+    return false;
+}
+
+void
+CompilerService::noteStoreErrorLocked()
+{
+    ++storeErrors_;
+    ++consecutiveStoreErrors_;
+    if (opts_.storeErrorThreshold == 0)
+        return; // breaker disabled: count errors but never degrade
+    if (consecutiveStoreErrors_ >= opts_.storeErrorThreshold) {
+        // Entering degraded, or refreshing the cooldown clock after a
+        // failed half-open probe -- either way the tier stays dark for
+        // another full cooldown from *now*.
+        tierDegraded_ = true;
+        degradedSince_ = std::chrono::steady_clock::now();
+    }
+}
+
+void
+CompilerService::noteStoreSuccessLocked()
+{
+    consecutiveStoreErrors_ = 0;
+    if (tierDegraded_) {
+        tierDegraded_ = false;
+        ++recoveries_;
+    }
+}
+
 ServiceStats
 CompilerService::stats() const
 {
@@ -516,6 +626,12 @@ CompilerService::stats() const
     s.bytesCapacity = opts_.cacheBytesCapacity;
     s.diskHits = diskHits_;
     s.diskWrites = diskWrites_;
+    s.storeErrors = storeErrors_;
+    s.degradedSkips = degradedSkips_;
+    s.recoveries = recoveries_;
+    s.tierState = !store_ ? DiskTierState::Off
+                          : (tierDegraded_ ? DiskTierState::Degraded
+                                           : DiskTierState::Ok);
     if (store_) {
         s.storeRecords = store_->records();
         s.storeBytes = store_->bytesOnDisk();

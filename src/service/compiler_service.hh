@@ -35,6 +35,17 @@
  *    a restarted (or neighboring) service pointed at the same store
  *    starts warm: tier lookup order is memo -> template -> disk ->
  *    compile.
+ *  - A circuit breaker in front of the disk tier: after
+ *    storeErrorThreshold CONSECUTIVE store I/O failures the tier goes
+ *    `degraded` -- disk probes and write-behind appends are skipped
+ *    (counted as degradedSkips) while the memory tiers and the
+ *    compiler keep serving every request. After storeCooldownMs one
+ *    request half-opens the breaker with a cheap header probe;
+ *    success closes it again (counted as a recovery), failure re-arms
+ *    the cooldown. A failing disk therefore costs at most
+ *    threshold + one-probe-per-cooldown syscalls, never an error
+ *    surfaced to callers: the store is a cache, losing it degrades
+ *    latency, not correctness.
  *  - A context pool: reusable CompileContexts keyed by the
  *    topology/library/config fingerprint, so distance fields warmed by
  *    one request survive into the next (across requests, not just
@@ -69,15 +80,27 @@
 #include <unordered_map>
 #include <vector>
 
+#include <chrono>
+
 #include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
 #include "compiler/rebind.hh"
 #include "ir/serialize.hh"
+#include "service/artifact_store.hh"
 #include "strategies/strategy.hh"
 
 namespace qompress {
 
-class ArtifactStore;
+/** Health of the service's disk tier (the breaker's public face). */
+enum class DiskTierState
+{
+    Off,      ///< no store configured
+    Ok,       ///< breaker closed; disk probes and writes flow
+    Degraded, ///< breaker open; disk skipped until a probe succeeds
+};
+
+/** "off" | "ok" | "degraded" (for /metrics and /healthz). */
+const char *diskTierStateName(DiskTierState state);
 
 /** @name Component fingerprints
  * Content hashes of the non-circuit compile inputs (the circuit hash
@@ -208,6 +231,20 @@ struct ServiceOptions
      *  to a storeless service. */
     std::string storePath;
 
+    /** Durability policy for the store's appends (and the interval
+     *  knob Interval syncs on); see artifact_store.hh. */
+    FsyncPolicy storeFsync = FsyncPolicy::Never;
+    std::uint64_t storeFsyncIntervalBytes = 1 << 20;
+
+    /** Consecutive store I/O failures that open the disk-tier
+     *  breaker (degraded mode). 0 disables the breaker: every error
+     *  is counted but the disk keeps being probed. */
+    std::uint64_t storeErrorThreshold = 3;
+
+    /** How long a degraded disk tier rests before one request
+     *  half-opens the breaker with a health probe. */
+    double storeCooldownMs = 1000.0;
+
     /**
      * Default lanes for submit()/submitBatch() request fan-out, in the
      * CompilerConfig::threads convention (0 = process default, 1 =
@@ -261,6 +298,20 @@ struct ServiceStats
     std::uint64_t diskWrites = 0;   ///< artifacts appended to the store
     std::size_t storeRecords = 0;   ///< live records in the log
     std::uint64_t storeBytes = 0;   ///< log size on disk (incl. dead)
+    /** @} */
+
+    /** @name Disk-tier circuit breaker
+     * storeErrors counts every store I/O failure (loads, writes, and
+     * half-open probes). The breaker opens after storeErrorThreshold
+     * CONSECUTIVE errors: tierState reads Degraded, disk work is
+     * skipped (degradedSkips), and after the cooldown a header probe
+     * decides between recovery (recoveries, tierState back to Ok) and
+     * another cooldown. Requests themselves never fail on a store
+     * error -- they fall through to the compile path. @{ */
+    std::uint64_t storeErrors = 0;   ///< store I/O failures observed
+    std::uint64_t degradedSkips = 0; ///< disk probes/writes skipped
+    std::uint64_t recoveries = 0;    ///< degraded -> ok transitions
+    DiskTierState tierState = DiskTierState::Off;
     /** @} */
     std::uint64_t contextsCreated = 0; ///< cold CompileContext builds
     std::uint64_t contextsReused = 0;  ///< warm contexts served from the pool
@@ -374,6 +425,19 @@ class CompilerService
     CompileArtifact compileUncached(const CompileRequest &req,
                                     const Circuit &circuit,
                                     std::uint64_t ctx_fp);
+
+    /** @name Disk-tier circuit breaker (state under mu_)
+     * admitDiskRead() gates the miss path's store probe: true when the
+     * breaker is closed, or when a cooldown-expired half-open probe
+     * (run outside mu_, single-flight via probeInFlight_) just
+     * succeeded. admitDiskWrite() gates write-behind: degraded skips,
+     * recovery is the read path's job. note*() feed the error/success
+     * edges. @{ */
+    bool admitDiskRead();
+    bool admitDiskWrite();
+    void noteStoreErrorLocked();
+    void noteStoreSuccessLocked();
+    /** @} */
     CompileHandle submitOn(ThreadPool *pool, CompileRequest req);
     std::unique_ptr<PooledContext> acquireContext(const CompileRequest &req,
                                                   std::uint64_t ctx_fp);
@@ -418,6 +482,13 @@ class CompilerService
     std::uint64_t templateEvictions_ = 0;
     std::uint64_t diskHits_ = 0;
     std::uint64_t diskWrites_ = 0;
+    std::uint64_t storeErrors_ = 0;
+    std::uint64_t degradedSkips_ = 0;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t consecutiveStoreErrors_ = 0;
+    bool tierDegraded_ = false;
+    bool probeInFlight_ = false; ///< one half-open probe at a time
+    std::chrono::steady_clock::time_point degradedSince_{};
     std::uint64_t sizeEvictions_ = 0;
     std::size_t bytesInUse_ = 0;
     std::uint64_t contextsCreated_ = 0;

@@ -20,7 +20,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -29,6 +31,7 @@
 
 #include "circuits/registry.hh"
 #include "common/error.hh"
+#include "common/faultpoint.hh"
 #include "common/rng.hh"
 #include "ir/circuit.hh"
 #include "server/histogram.hh"
@@ -119,6 +122,16 @@ get(const std::string &target, bool close = false)
 {
     return "GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
            (close ? "Connection: close\r\n" : "") + "\r\n";
+}
+
+/** FaultSpec that fails every matching call with @p err. */
+FaultSpec
+failWith(int err)
+{
+    FaultSpec s;
+    s.kind = FaultKind::Fail;
+    s.err = err;
+    return s;
 }
 
 /** Value of a header within a raw HTTP response, "" when absent. */
@@ -519,6 +532,86 @@ TEST(Server, GracefulStopDrainsAndStopsListening)
     // Stop is idempotent and the port is released.
     server->stop();
     EXPECT_LT(httpConnect("127.0.0.1", port), 0);
+}
+
+TEST(Server, HealthzReportsOkThenDrainingAfterBeginDrain)
+{
+    ServerFixture fx;
+    {
+        TestClient c = fx.client();
+        int status = 0;
+        std::string body;
+        ASSERT_TRUE(c.request(get("/healthz"), status, body));
+        EXPECT_EQ(status, 200);
+        EXPECT_NE(body.find("\"ok\""), std::string::npos);
+    }
+
+    fx.server->beginDrain();
+    EXPECT_TRUE(fx.server->running()); // draining != stopped
+
+    // Draining answers 503 with a Retry-After hint so load balancers
+    // bleed traffic away before stop() closes the listener.
+    {
+        TestClient c = fx.client();
+        ASSERT_TRUE(c.send(get("/healthz", /*close=*/true)));
+        const std::string raw = c.readRaw();
+        EXPECT_NE(raw.find("503"), std::string::npos) << raw;
+        EXPECT_NE(raw.find("\"draining\""), std::string::npos) << raw;
+        EXPECT_FALSE(headerValue(raw, "Retry-After").empty()) << raw;
+    }
+
+    // The data plane keeps serving while draining: only the health
+    // signal flips, so in-flight users finish cleanly.
+    {
+        TestClient c = fx.client();
+        int status = 0;
+        std::string body;
+        ASSERT_TRUE(c.request(postCompile(kValidQasm), status, body));
+        EXPECT_EQ(status, 200);
+    }
+}
+
+TEST(Server, HealthzReportsDegradedWhenDiskTierTrips)
+{
+    const std::string storePath =
+        ::testing::TempDir() + "qompress_server_degraded.qst";
+    std::remove(storePath.c_str());
+
+    ServerOptions opts;
+    opts.service.storePath = storePath;
+    opts.service.storeErrorThreshold = 1;
+    opts.service.storeCooldownMs = 60000.0; // stay degraded for the test
+    ServerFixture fx(opts);
+
+    {
+        FaultInjector inj(7);
+        inj.arm("store.pwrite", failWith(EIO));
+        ScopedFaultInjection scope(inj);
+
+        // A full compile misses every memory tier and tries the
+        // write-behind, which the armed fault fails -> breaker trips.
+        TestClient c = fx.client();
+        int status = 0;
+        std::string body;
+        ASSERT_TRUE(c.request(postCompile(kValidQasm, "?full=1"), status,
+                              body));
+        EXPECT_EQ(status, 200); // degradation is invisible to the caller
+    }
+
+    int status = 0;
+    std::string body;
+    TestClient c = fx.client();
+    ASSERT_TRUE(c.request(get("/healthz"), status, body));
+    EXPECT_EQ(status, 200); // memory tiers still serve: up, not down
+    EXPECT_NE(body.find("\"degraded\""), std::string::npos) << body;
+
+    ASSERT_TRUE(c.request(get("/metrics"), status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"tierState\": \"degraded\""), std::string::npos)
+        << body;
+    EXPECT_GE(scrape(body, "service", "storeErrors"), 1.0);
+
+    std::remove(storePath.c_str());
 }
 
 TEST(Server, DebugEndpointsAreOffByDefault)

@@ -19,12 +19,27 @@
  *   --contexts=N        warm CompileContext pool capacity
  *   --store=PATH        artifact-store log backing the disk tier
  *                       (restarts with the same PATH boot warm)
+ *   --fsync=POLICY      store durability: never (default) | interval |
+ *                       always (acknowledged == durable)
+ *   --fsync-interval-bytes=N
+ *                       appended bytes between syncs under
+ *                       --fsync=interval (default 1 MiB)
+ *   --store-error-threshold=K
+ *                       consecutive store failures before the disk
+ *                       tier degrades (0 = breaker off; default 3)
+ *   --store-cooldown-ms=X
+ *                       how long a degraded tier waits before its
+ *                       next recovery probe (default 1000)
+ *   --drain-grace-ms=N  on SIGINT/SIGTERM, report "draining" (503) on
+ *                       /healthz for N ms before stopping, so load
+ *                       balancers bleed traffic away first (default 0)
  *   --max-units=N       largest topology a request may ask for
  *   --debug-endpoints   enable POST /debug/sleep (load experiments)
  *
- * SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, answer
- * queued connections with 503, finish in-flight compiles, drain the
- * service, exit 0.
+ * SIGINT/SIGTERM trigger a graceful shutdown: flip /healthz to
+ * draining, wait the drain grace, stop accepting, answer queued
+ * connections with 503, finish in-flight compiles, drain the service,
+ * exit 0.
  */
 
 #include <chrono>
@@ -43,6 +58,9 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 
+/** --drain-grace-ms: how long /healthz says "draining" before stop(). */
+int g_drainGraceMs = 0;
+
 void
 onSignal(int)
 {
@@ -57,6 +75,9 @@ usage()
         "       [--queue=N] [--deadline-ms=X] [--idle-timeout-ms=N]\n"
         "       [--cache=N] [--cache-bytes=N] [--template-cache=N]\n"
         "       [--contexts=N] [--store=PATH] [--max-units=N]\n"
+        "       [--fsync=never|interval|always]\n"
+        "       [--fsync-interval-bytes=N] [--store-error-threshold=K]\n"
+        "       [--store-cooldown-ms=X] [--drain-grace-ms=N]\n"
         "       [--debug-endpoints]\n");
 }
 
@@ -95,6 +116,23 @@ parse(int argc, char **argv)
                 std::atoll(value("--cache-bytes=").c_str()));
         } else if (a.rfind("--store=", 0) == 0) {
             opts.service.storePath = value("--store=");
+        } else if (a.rfind("--fsync=", 0) == 0) {
+            opts.service.storeFsync =
+                fsyncPolicyFromString(value("--fsync="));
+        } else if (a.rfind("--fsync-interval-bytes=", 0) == 0) {
+            opts.service.storeFsyncIntervalBytes =
+                static_cast<std::uint64_t>(std::atoll(
+                    value("--fsync-interval-bytes=").c_str()));
+        } else if (a.rfind("--store-error-threshold=", 0) == 0) {
+            opts.service.storeErrorThreshold =
+                static_cast<std::uint64_t>(std::atoll(
+                    value("--store-error-threshold=").c_str()));
+        } else if (a.rfind("--store-cooldown-ms=", 0) == 0) {
+            opts.service.storeCooldownMs =
+                std::atof(value("--store-cooldown-ms=").c_str());
+        } else if (a.rfind("--drain-grace-ms=", 0) == 0) {
+            g_drainGraceMs =
+                std::atoi(value("--drain-grace-ms=").c_str());
         } else if (a.rfind("--template-cache=", 0) == 0) {
             opts.service.templateCacheCapacity =
                 static_cast<std::size_t>(
@@ -143,6 +181,14 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
         std::printf("qompressd: draining and shutting down\n");
+        std::fflush(stdout);
+        if (g_drainGraceMs > 0) {
+            // Advertise "draining" on /healthz while still serving, so
+            // load balancers stop routing here before we stop.
+            server.beginDrain();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(g_drainGraceMs));
+        }
         server.stop();
         const ServerStats s = server.stats();
         std::printf("qompressd: served %llu requests (%llu ok, %llu "
