@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "arch/device.hh"
 #include "bench_util.hh"
 #include "circuits/registry.hh"
 #include "strategies/strategy.hh"
@@ -44,11 +45,16 @@ main(int argc, char **argv)
     const GateLibrary lib;
     const std::vector<std::string> strategies = {"eqm", "rb"};
 
+    // The fixed 65-unit lattices come from the device registry (the
+    // shared topology zoo); "grid" stays per-circuit-sized, the one
+    // shape the zoo's fixed devices cannot provide.
+    DeviceRegistry registry;
+
     for (const char *fam : {"cnu", "qaoa_cylinder"}) {
         const auto &family = benchmarkFamily(fam);
         TablePrinter t({"topology", "strategy", "min", "median", "max",
                         "sizes"});
-        for (const char *topo_name : {"grid", "heavyhex", "ring"}) {
+        for (const char *topo_name : {"grid", "heavyhex65", "ring65"}) {
             for (const auto &strat : strategies) {
                 std::vector<double> improvements;
                 int used = 0;
@@ -56,11 +62,10 @@ main(int argc, char **argv)
                     if (size < family.minQubits)
                         continue;
                     const Circuit c = family.make(size);
-                    Topology topo = Topology::grid(c.numQubits());
-                    if (std::string(topo_name) == "heavyhex")
-                        topo = Topology::heavyHex65();
-                    else if (std::string(topo_name) == "ring")
-                        topo = Topology::ring(65);
+                    const Topology topo =
+                        std::string(topo_name) == "grid"
+                            ? Topology::grid(c.numQubits())
+                            : registry.get(topo_name).topology;
                     if (c.numQubits() > topo.numUnits())
                         continue; // qubit-only baseline must fit
                     const double qo =

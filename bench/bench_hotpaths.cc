@@ -13,7 +13,9 @@
  * compiles vs parameter rebinds across a 20-point QAOA-40/heavyHex65
  * angle grid at 1/2/4/8 lanes), and the persistence tier (cold
  * compiles vs a disk-warm restart vs warm memo over the same request
- * catalog) -- against the retained
+ * catalog), and the device registry (strategy x zoo-device sweep via
+ * CompileRequest::forDevice, with per-device timings and a totalEps
+ * results table) -- against the retained
  * naive/uncached/serial reference paths in the same binary,
  * and emits machine-readable JSON with a "host" metadata object
  * (nproc, QOMPRESS_THREADS, build type) so snapshots from different
@@ -40,8 +42,14 @@
  *                by >= the rebind margin, and that a disk-warm
  *                restart decodes artifacts bit-identical to direct
  *                compiles while serving the catalog >= the
- *                persistence margin faster than cold compiles; exits
- *                nonzero on violation.
+ *                persistence margin faster than cold compiles, and
+ *                that registry-resolved device compiles are
+ *                bit-identical to direct compiles on the registry
+ *                topology, a neutral uniform calibration is
+ *                bit-identical to no calibration, and a calibration
+ *                install re-keys exactly its device (stale miss,
+ *                fresh hit, unrelated warm hit, counter partition
+ *                intact); exits nonzero on violation.
  *                Registered under ctest label "bench".
  *   --quick      smaller repetition counts.
  *   --out=FILE   also write the JSON to FILE.
@@ -1058,6 +1066,121 @@ benchPersist(int reps, int sizes_hi)
     return res;
 }
 
+struct DeviceBenchResult
+{
+    std::string table;      ///< JSON rows: per device x strategy
+    bool identical;         ///< registry path == direct compiles
+    bool neutral_identical; ///< neutral uniform cal == no cal
+    bool invalidation_ok;   ///< stale miss, fresh hit, unrelated hit
+    bool partition_ok;      ///< requests == hits+tmpl+disk+misses+coal
+    std::uint64_t devices;  ///< zoo devices swept
+};
+
+/**
+ * The device-registry workload: a strategy x zoo-device sweep, every
+ * request resolved by name through CompileRequest::forDevice (registry
+ * topology + current calibration). Each cell is timed cold and its
+ * totalEps lands in the results table -- the per-device counterpart of
+ * the figure sweeps, over topologies from 23 to 127 units. The
+ * differential legs pin the subsystem's two contracts: resolution is
+ * free of semantic drift (registry compiles bit-identical to direct
+ * compiles on the registry topology; a neutral uniform calibration
+ * bit-identical to none), and a calibration install re-keys exactly
+ * its own device (stale miss then fresh hit, the unrelated device's
+ * warm entry survives, the counter partition stays intact).
+ */
+DeviceBenchResult
+benchDevices(int reps)
+{
+    const GateLibrary lib;
+    CompilerConfig cfg;
+    cfg.lookaheadWeight = 0.5;
+    const Circuit circuit = bernsteinVazirani(16);
+    const char *strategies[] = {"eqm", "rb", "awe"};
+    const char *devices[] = {"falcon27",    "heavyhex23", "heavyhex65",
+                             "heavyhex127", "ring65",     "grid64"};
+
+    DeviceBenchResult res{};
+    res.identical = true;
+    res.devices = std::size(devices);
+
+    CompilerService service;
+    char row[256];
+    for (const char *dev : devices) {
+        const Device d = service.devices().get(dev);
+        for (const char *strat : strategies) {
+            double ms = 0.0;
+            CompileArtifact art;
+            for (int r = 0; r < reps; ++r) {
+                service.clearCache();
+                const auto t0 = Clock::now();
+                art = service.compileSync(CompileRequest::forDevice(
+                    circuit, dev, strat, cfg, lib));
+                ms += 1e3 * secondsSince(t0);
+            }
+            ms /= reps;
+            const CompileResult direct = makeStrategy(strat)->compile(
+                circuit, d.topology, lib, cfg);
+            res.identical =
+                res.identical && sameCompileResults(*art, direct);
+            std::snprintf(row, sizeof row,
+                          "    \"device_%s_%s_ms\": %.4f,\n"
+                          "    \"device_%s_%s_eps\": %.6f,\n",
+                          dev, strat, ms, dev, strat,
+                          art->metrics.totalEps);
+            res.table += row;
+        }
+    }
+
+    // Neutral-calibration differential: a uniform record carrying the
+    // library constants (zero readout, no edge scales) must price
+    // every gate exactly like no calibration at all.
+    {
+        const Device d = service.devices().get("heavyhex65");
+        CompilerConfig neutral = cfg;
+        neutral.calibration =
+            std::make_shared<const DeviceCalibration>(
+                DeviceCalibration::uniform(
+                    d.topology.name(), d.topology.numUnits(),
+                    GateLibrary::kT1QubitNs,
+                    GateLibrary::kT1QuquartNs));
+        const CompileResult plain = makeStrategy("eqm")->compile(
+            circuit, d.topology, lib, cfg);
+        const CompileResult cal = makeStrategy("eqm")->compile(
+            circuit, d.topology, lib, neutral);
+        res.neutral_identical =
+            sameCompileResults(plain, cal) &&
+            plain.metrics.readoutEps == cal.metrics.readoutEps;
+    }
+
+    // Invalidation differential on a fresh service (clean counters):
+    // warm two devices, install a calibration on one, and read the
+    // exact miss/hit trajectory off the counters.
+    {
+        CompilerService svc;
+        auto req = [&](const char *dev) {
+            return CompileRequest::forDevice(circuit, dev, "eqm", cfg,
+                                             lib);
+        };
+        svc.compileSync(req("falcon27")); // miss (cold)
+        svc.compileSync(req("ring65"));   // miss (cold)
+        svc.compileSync(req("falcon27")); // hit  (warm)
+        svc.devices().setCalibration(
+            "falcon27",
+            DeviceCalibration::uniform("falcon27", 27, 100000.0,
+                                       30000.0, 0.01));
+        svc.compileSync(req("falcon27")); // miss (stale key)
+        svc.compileSync(req("falcon27")); // hit  (fresh entry)
+        svc.compileSync(req("ring65"));   // hit  (unrelated survives)
+        const ServiceStats st = svc.stats();
+        res.invalidation_ok = st.misses == 3 && st.hits == 3;
+        res.partition_ok = st.requests == st.hits + st.templateHits +
+                                              st.diskHits + st.misses +
+                                              st.coalesced;
+    }
+    return res;
+}
+
 } // namespace
 
 int
@@ -1103,6 +1226,12 @@ main(int argc, char **argv)
     // sizes would collapse the catalog to duplicate keys, which the
     // write-behind dedup guard would surface as disk_writes < requests.
     const int persist_hi = args.quick || check ? 16 : 18;
+    // The device sweep's gates are identity differentials, not timing
+    // ratios, so one rep suffices under --check. Timed modes rep
+    // higher than the other sections: the cells are ~1 ms compiles,
+    // cheap enough that averaging down the timer noise costs little,
+    // and the device_ section gates at 10% in CI.
+    const int device_reps = check ? 1 : (args.quick ? 5 : 10);
 
     const SimResult sim = benchStatevector(sim_reps);
     const GrapeBenchResult gr = benchGrape(grape_reps);
@@ -1116,6 +1245,7 @@ main(int argc, char **argv)
     const TemplateBenchResult tm =
         benchTemplate(template_reps, template_rounds, template_angles);
     const PersistBenchResult ps = benchPersist(persist_reps, persist_hi);
+    const DeviceBenchResult dv = benchDevices(device_reps);
 
     const double sim_speedup =
         sim.optimized_ms > 0.0 ? sim.naive_ms / sim.optimized_ms : 0.0;
@@ -1147,7 +1277,7 @@ main(int argc, char **argv)
 #define QOMPRESS_BUILD_TYPE "unknown"
 #endif
 
-    char buf[16384];
+    char buf[32768]; // headroom for the dynamic device table
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -1240,7 +1370,13 @@ main(int argc, char **argv)
         "    \"persist_disk_hits\": %llu,\n"
         "    \"persist_disk_writes\": %llu,\n"
         "    \"persist_store_bytes\": %llu,\n"
-        "    \"persist_identical\": %s\n"
+        "    \"persist_identical\": %s,\n"
+        "%s" // the device results table (dynamic: device x strategy)
+        "    \"device_zoo_count\": %llu,\n"
+        "    \"device_registry_identical\": %s,\n"
+        "    \"device_neutral_identical\": %s,\n"
+        "    \"device_invalidation_ok\": %s,\n"
+        "    \"device_partition_ok\": %s\n"
         "  }\n"
         "}\n",
         std::thread::hardware_concurrency(),
@@ -1283,7 +1419,12 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(ps.disk_hits),
         static_cast<unsigned long long>(ps.disk_writes),
         static_cast<unsigned long long>(ps.store_bytes),
-        ps.identical ? "true" : "false");
+        ps.identical ? "true" : "false", dv.table.c_str(),
+        static_cast<unsigned long long>(dv.devices),
+        dv.identical ? "true" : "false",
+        dv.neutral_identical ? "true" : "false",
+        dv.invalidation_ok ? "true" : "false",
+        dv.partition_ok ? "true" : "false");
     std::cout << buf;
     if (!out_path.empty()) {
         std::ofstream out(out_path);
@@ -1360,6 +1501,18 @@ main(int argc, char **argv)
         expect(persist_disk_speedup >= kPersistDiskWarmMargin,
                "a disk-warm restart serves the catalog >= the "
                "persistence tier's expected margin over cold compiles");
+        expect(dv.identical,
+               "registry-resolved device compiles are bit-identical "
+               "to direct compiles on the registry topology");
+        expect(dv.neutral_identical,
+               "a neutral uniform calibration compiles bit-identical "
+               "to no calibration");
+        expect(dv.invalidation_ok,
+               "a calibration install re-keys exactly its device: "
+               "stale miss, fresh hit, unrelated warm hit");
+        expect(dv.partition_ok,
+               "the service counter partition holds across "
+               "calibration updates");
         return failures == 0 ? 0 : 1;
     }
     return 0;

@@ -66,6 +66,31 @@ class Topology
      */
     static Topology heavyHex65();
 
+    /**
+     * The general heavy-hex family: @p rows qubit rows (first and last
+     * one unit shorter) of length @p row_len joined by bridge units.
+     * Valid parameters are rows odd >= 3 and row_len >= 7 with
+     * row_len % 4 == 3 (the hexagonal tiling constraint); anything
+     * else is a FatalError. heavyHex(5, 11) reproduces heavyHex65()
+     * exactly (same units, numbering, and edges); heavyHex(7, 15) is
+     * the 127-unit IBM Eagle shape; heavyHex(3, 7) a 23-unit Falcon-
+     * class lattice.
+     */
+    static Topology heavyHex(int rows, int row_len);
+
+    /** The IBM 27-qubit Falcon coupling map (ibmq_mumbai/montreal
+     *  generation): 27 units, 28 edges. */
+    static Topology falcon27();
+
+    /**
+     * Generator lookup by name: fixed shapes ("falcon27",
+     * "heavyhex23", "heavyhex65", "heavyhex127") and parametric forms
+     * ("ring:N", "line:N", "grid:RxC", "complete:N", "heavyhex:RxL").
+     * @throws FatalError for an unknown name, listing the valid ones
+     * (mirrors makeStrategy).
+     */
+    static Topology named(const std::string &name);
+
     /** Cycle of @p n units. */
     static Topology ring(int n);
 
@@ -82,9 +107,18 @@ class Topology
         std::string name = "custom", int min_units = 0);
 
     /**
-     * Custom device from a text file: '#' comments and one "u v"
-     * coupling per line. @throws FatalError on malformed input.
+     * Custom device from untrusted coupling-list text: '#' comments
+     * and exactly one "u v" coupling per line. Hardened like the QASM
+     * parser: checked digit-only integer parsing, unit/edge caps,
+     * trailing-token, self-loop, and duplicate-edge rejection, all
+     * with line numbers. @p what names the source in errors.
+     * @throws FatalError on malformed input.
      */
+    static Topology fromText(const std::string &text,
+                             const std::string &what);
+
+    /** fromText() over a file's contents, named by its basename.
+     *  @throws FatalError on malformed input. */
     static Topology fromFile(const std::string &path);
     /** @} */
 

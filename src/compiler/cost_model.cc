@@ -2,22 +2,31 @@
 
 #include <cmath>
 
+#include "arch/device.hh"
 #include "common/error.hh"
 
 namespace qompress {
 
 CostModel::CostModel(const ExpandedGraph &xg, const GateLibrary &lib,
-                     double through_ququart_penalty)
-    : xg_(&xg), lib_(&lib), penalty_(through_ququart_penalty)
+                     double through_ququart_penalty,
+                     const DeviceCalibration *cal)
+    : xg_(&xg), lib_(&lib), penalty_(through_ququart_penalty), cal_(cal)
 {
     QFATAL_IF(penalty_ < 1.0, "through-ququart penalty must be >= 1");
+    QFATAL_IF(cal_ && cal_->numUnits() != xg.topology().numUnits(),
+              "calibration '", cal_ ? cal_->device : "", "' covers ",
+              cal_ ? cal_->numUnits() : 0, " units but topology '",
+              xg.topology().name(), "' has ", xg.topology().numUnits());
 }
 
 double
 CostModel::unitDecay(UnitId u, double duration, const Layout &layout) const
 {
-    const double t1 = layout.unitEncoded(u) ? lib_->t1Ququart()
-                                            : lib_->t1Qubit();
+    const double t1 =
+        cal_ ? (layout.unitEncoded(u) ? cal_->t1QuquartNs[u]
+                                      : cal_->t1QubitNs[u])
+             : (layout.unitEncoded(u) ? lib_->t1Ququart()
+                                      : lib_->t1Qubit());
     return std::exp(-duration / t1);
 }
 
@@ -25,8 +34,15 @@ double
 CostModel::gateSuccess(PhysGateClass c, SlotId a, SlotId b,
                        const Layout &layout) const
 {
-    const double dur = lib_->duration(c);
-    double s = lib_->fidelity(c) * unitDecay(slotUnit(a), dur, layout);
+    double dur = lib_->duration(c);
+    double fid = lib_->fidelity(c);
+    if (cal_ && b != kInvalid && slotUnit(b) != slotUnit(a)) {
+        if (const auto *e = cal_->edge(slotUnit(a), slotUnit(b))) {
+            fid *= e->fidelityScale;
+            dur *= e->durationScale;
+        }
+    }
+    double s = fid * unitDecay(slotUnit(a), dur, layout);
     if (b != kInvalid && slotUnit(b) != slotUnit(a))
         s *= unitDecay(slotUnit(b), dur, layout);
     return s;
@@ -89,13 +105,23 @@ CostModel::routingDistances(SlotId source, const Layout &layout) const
 double
 CostModel::swap4Cost(UnitId u, UnitId v, const Layout &layout) const
 {
+    double dur = lib_->duration(PhysGateClass::SwapFull);
+    double fid = lib_->fidelity(PhysGateClass::SwapFull);
+    if (cal_) {
+        if (const auto *e = cal_->edge(u, v)) {
+            fid *= e->fidelityScale;
+            dur *= e->durationScale;
+        }
+    }
     auto decay = [&](UnitId w) {
-        const double t1 = layout.unitEncoded(w) ? lib_->t1Ququart()
-                                                : lib_->t1Qubit();
-        return std::exp(-lib_->duration(PhysGateClass::SwapFull) / t1);
+        const double t1 =
+            cal_ ? (layout.unitEncoded(w) ? cal_->t1QuquartNs[w]
+                                          : cal_->t1QubitNs[w])
+                 : (layout.unitEncoded(w) ? lib_->t1Ququart()
+                                          : lib_->t1Qubit());
+        return std::exp(-dur / t1);
     };
-    return -std::log(lib_->fidelity(PhysGateClass::SwapFull) * decay(u) *
-                     decay(v));
+    return -std::log(fid * decay(u) * decay(v));
 }
 
 ShortestPaths

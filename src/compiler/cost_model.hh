@@ -18,15 +18,24 @@
 
 namespace qompress {
 
+struct DeviceCalibration;
+
 /**
  * Prices gates and swap paths against a layout's current encoding
  * state. The model holds references only; callers own the pieces.
+ *
+ * With a DeviceCalibration the per-unit T1 arrays replace the two
+ * GateLibrary constants in every decay term, and cross-unit gates pick
+ * up the coupling's fidelity/duration scales. A null calibration is
+ * the uncalibrated device and prices bit-identically to the
+ * calibration-free model (differentially pinned by tests/test_device).
  */
 class CostModel
 {
   public:
     CostModel(const ExpandedGraph &xg, const GateLibrary &lib,
-              double through_ququart_penalty = 1.25);
+              double through_ququart_penalty = 1.25,
+              const DeviceCalibration *cal = nullptr);
 
     /** Success probability of one gate of class @p c on the units of
      *  @p a (and @p b if two-unit), given the current layout. */
@@ -84,6 +93,9 @@ class CostModel
     const GateLibrary &library() const { return *lib_; }
     double throughQuquartPenalty() const { return penalty_; }
 
+    /** The active calibration, or nullptr when uncalibrated. */
+    const DeviceCalibration *calibration() const { return cal_; }
+
   private:
     double unitDecay(UnitId u, double duration,
                      const Layout &layout) const;
@@ -91,6 +103,7 @@ class CostModel
     const ExpandedGraph *xg_;
     const GateLibrary *lib_;
     double penalty_;
+    const DeviceCalibration *cal_;
 };
 
 /**

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/device.hh"
 #include "common/error.hh"
 
 namespace qompress {
 
 Metrics
-computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib)
+computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib,
+               const DeviceCalibration *cal)
 {
     Metrics m;
     m.numGates = compiled.numGates();
@@ -56,16 +58,20 @@ computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib)
                   return a.time < b.time;
               });
 
-    auto rate_of = [&](int k) {
+    auto rate_of = [&](UnitId u, int k) {
         if (k == 0)
             return 0.0;
+        if (cal) {
+            return k == 2 ? 2.0 / cal->t1QuquartNs[u]
+                          : 1.0 / cal->t1QubitNs[u];
+        }
         return k == 2 ? 2.0 / lib.t1Ququart() : 1.0 / lib.t1Qubit();
     };
     double rate = 0.0;
     double qb_rate = 0.0; // qubits currently in qubit state
     double qd_rate = 0.0; // qubits currently in ququart state
     for (UnitId u = 0; u < num_units; ++u) {
-        rate += rate_of(occ[u]);
+        rate += rate_of(u, occ[u]);
         if (occ[u] == 1)
             qb_rate += 1.0;
         else if (occ[u] == 2)
@@ -83,13 +89,13 @@ computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib)
             m.ququartTimeNs += qd_rate * (t - now);
             now = t;
         }
-        rate -= rate_of(occ[ev.unit]);
+        rate -= rate_of(ev.unit, occ[ev.unit]);
         if (occ[ev.unit] == 1)
             qb_rate -= 1.0;
         else if (occ[ev.unit] == 2)
             qd_rate -= 2.0;
         occ[ev.unit] = ev.newOcc;
-        rate += rate_of(occ[ev.unit]);
+        rate += rate_of(ev.unit, occ[ev.unit]);
         if (occ[ev.unit] == 1)
             qb_rate += 1.0;
         else if (occ[ev.unit] == 2)
@@ -102,7 +108,20 @@ computeMetrics(const CompiledCircuit &compiled, const GateLibrary &lib)
     }
 
     m.coherenceEps = std::exp(-integral);
-    m.totalEps = m.gateEps * m.coherenceEps;
+    if (cal) {
+        // Readout: every logical qubit is measured where it ends up;
+        // a unit holding k qubits contributes (1 - ro)^k.
+        const Layout &fin = compiled.finalLayout();
+        const int fin_units =
+            std::min(fin.numUnits(), cal->numUnits());
+        for (UnitId u = 0; u < fin_units; ++u) {
+            for (int k = 0; k < fin.unitOccupancy(u); ++k)
+                m.readoutEps *= 1.0 - cal->readoutError[u];
+        }
+        m.totalEps = m.gateEps * m.coherenceEps * m.readoutEps;
+    } else {
+        m.totalEps = m.gateEps * m.coherenceEps;
+    }
     return m;
 }
 

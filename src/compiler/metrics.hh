@@ -21,7 +21,11 @@ struct Metrics
     double gateEps = 1.0;
     /** Product over logical qubits of exp(-t_qb/T1qb - t_qd/T1qd). */
     double coherenceEps = 1.0;
-    /** gateEps * coherenceEps. */
+    /** Product over measured logical qubits of (1 - readout error).
+     *  Exactly 1.0 without a calibration (the GateLibrary has no
+     *  readout term), so uncalibrated totals are unchanged. */
+    double readoutEps = 1.0;
+    /** gateEps * coherenceEps (* readoutEps when calibrated). */
     double totalEps = 1.0;
 
     /** Scheduled circuit duration, ns. */
@@ -41,6 +45,8 @@ struct Metrics
     double ququartTimeNs = 0.0;
 };
 
+struct DeviceCalibration;
+
 /**
  * Evaluate a scheduled circuit.
  *
@@ -48,9 +54,15 @@ struct Metrics
  * logical qubit is live for the whole circuit; a qubit is in ququart
  * state whenever its unit holds two logical qubits, with occupancy
  * transitions at ENC starts and DEC ends (the pessimistic edges).
+ *
+ * With a calibration the decay exponents use the per-unit T1 arrays
+ * and readoutEps folds the per-unit readout error of every occupied
+ * final-layout unit into totalEps; a null @p cal reproduces today's
+ * numbers bit-identically.
  */
 Metrics computeMetrics(const CompiledCircuit &compiled,
-                       const GateLibrary &lib);
+                       const GateLibrary &lib,
+                       const DeviceCalibration *cal = nullptr);
 
 } // namespace qompress
 

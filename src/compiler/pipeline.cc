@@ -9,7 +9,8 @@ namespace qompress {
 
 CompileContext::CompileContext(const Topology &topo, const GateLibrary &lib,
                                const CompilerConfig &cfg)
-    : xg_(topo), cost_(xg_, lib, cfg.throughQuquartPenalty),
+    : xg_(topo), cal_(cfg.calibration),
+      cost_(xg_, lib, cfg.throughQuquartPenalty, cal_.get()),
       cache_(cost_), use_cache_(cfg.useDistanceCache)
 {
 }
@@ -75,10 +76,11 @@ compileWithPairs(const Circuit &circuit, const Topology &topo,
     // and routing can never end up half-cached.
     ropts.useDistanceCache = cache != nullptr;
     routeCircuit(native, layout, cost, result.compiled, ropts, cache);
-    scheduleCompiled(result.compiled, lib);
+    scheduleCompiled(result.compiled, lib, cfg.calibration.get());
     if (cfg.validate)
         validateCompiled(result.compiled, topo);
-    result.metrics = computeMetrics(result.compiled, lib);
+    result.metrics =
+        computeMetrics(result.compiled, lib, cfg.calibration.get());
     return result;
 }
 

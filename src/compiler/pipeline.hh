@@ -7,8 +7,10 @@
 #ifndef QOMPRESS_COMPILER_PIPELINE_HH
 #define QOMPRESS_COMPILER_PIPELINE_HH
 
+#include <memory>
 #include <vector>
 
+#include "arch/device.hh"
 #include "arch/topology.hh"
 #include "compiler/mapper.hh"
 #include "compiler/metrics.hh"
@@ -37,6 +39,16 @@ struct CompilerConfig
     /** Run the structural validator on every compile (cheap; the
      *  exhaustive strategy turns it off in its inner loop). */
     bool validate = true;
+
+    /**
+     * Device calibration pricing the compile (see arch/device.hh):
+     * per-unit T1/readout replace the GateLibrary constants and
+     * per-edge scales adjust cross-unit gates. Null (the default)
+     * compiles the uncalibrated device, bit-identical to a config
+     * without the field. Shared immutable so configs stay cheap to
+     * copy; the unit count must match the topology compiled against.
+     */
+    std::shared_ptr<const DeviceCalibration> calibration;
 
     /**
      * Lanes for compile-level fan-out — the exhaustive strategy's
@@ -104,6 +116,9 @@ class CompileContext
 
   private:
     ExpandedGraph xg_;
+    /** Owned so pricing never dangles if the caller's cfg dies first;
+     *  declared before cost_, which captures the raw pointer. */
+    std::shared_ptr<const DeviceCalibration> cal_;
     CostModel cost_;
     DistanceFieldCache cache_;
     bool use_cache_;

@@ -81,7 +81,7 @@ makeTemplate(std::shared_ptr<const CompileResult> base,
 
 CompileResult
 rebindTemplate(const CompiledTemplate &tpl, const Circuit &instance,
-               const GateLibrary &lib)
+               const GateLibrary &lib, const DeviceCalibration *cal)
 {
     QPANIC_IF(!tpl.base, "rebindTemplate: empty template");
     const std::vector<double> vals = paramValues(instance);
@@ -102,7 +102,7 @@ rebindTemplate(const CompiledTemplate &tpl, const Circuit &instance,
     // untouched, so this reproduces (not merely approximates) what a
     // from-scratch compile would report; running it keeps the artifact
     // honest if pricing ever grows a parameter term.
-    out.metrics = computeMetrics(out.compiled, lib);
+    out.metrics = computeMetrics(out.compiled, lib, cal);
     return out;
 }
 

@@ -84,10 +84,14 @@ CompiledTemplate makeTemplate(std::shared_ptr<const CompileResult> base,
  * re-price Metrics. The caller is responsible for structural equality
  * (same structuralCircuitFingerprint value); rebind re-checks only the
  * slot count. Bit-identical to compiling @p instance from scratch.
+ * @p cal must be the calibration the exemplar was compiled under (the
+ * service guarantees this: templates are keyed by the config
+ * fingerprint, which covers the calibration).
  */
 CompileResult rebindTemplate(const CompiledTemplate &tpl,
                              const Circuit &instance,
-                             const GateLibrary &lib);
+                             const GateLibrary &lib,
+                             const DeviceCalibration *cal = nullptr);
 
 } // namespace qompress
 

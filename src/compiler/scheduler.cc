@@ -3,18 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arch/device.hh"
 #include "common/error.hh"
 
 namespace qompress {
 
 void
-scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib)
+scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib,
+                 const DeviceCalibration *cal)
 {
     const int num_units = compiled.initialLayout().numUnits();
     std::vector<double> unit_free(num_units, 0.0);
     for (auto &g : compiled.mutableGates()) {
         g.duration = lib.duration(g.cls);
         g.fidelity = lib.fidelity(g.cls);
+        if (cal && g.twoUnit()) {
+            const auto us = g.units();
+            if (us.size() == 2) {
+                if (const auto *e = cal->edge(us[0], us[1])) {
+                    g.fidelity *= e->fidelityScale;
+                    g.duration *= e->durationScale;
+                }
+            }
+        }
         double t = 0.0;
         for (UnitId u : g.units()) {
             QPANIC_IF(u < 0 || u >= num_units, "gate on unknown unit ", u);

@@ -15,12 +15,19 @@
 
 namespace qompress {
 
+struct DeviceCalibration;
+
 /**
  * Assign start/duration/fidelity to every gate, in list order, with
  * per-unit earliest-availability (gates on disjoint units overlap
  * freely; gates sharing a unit serialize).
+ *
+ * With a calibration, cross-unit gates pick up their coupling's
+ * fidelity/duration scales on top of the library class constants; a
+ * null @p cal reproduces the uncalibrated schedule bit-identically.
  */
-void scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib);
+void scheduleCompiled(CompiledCircuit &compiled, const GateLibrary &lib,
+                      const DeviceCalibration *cal = nullptr);
 
 /**
  * After scheduling: flags gates lying on a longest (critical) path.

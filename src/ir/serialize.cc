@@ -298,6 +298,7 @@ encodePayload(ByteWriter &w, const CompileResult &res)
     const Metrics &m = res.metrics;
     w.f64(m.gateEps);
     w.f64(m.coherenceEps);
+    w.f64(m.readoutEps);
     w.f64(m.totalEps);
     w.f64(m.durationNs);
     w.i32(m.numGates);
@@ -334,6 +335,7 @@ decodePayload(ByteReader &r)
     Metrics &m = res.metrics;
     m.gateEps = r.f64();
     m.coherenceEps = r.f64();
+    m.readoutEps = r.f64();
     m.totalEps = r.f64();
     m.durationNs = r.f64();
     m.numGates = r.i32();

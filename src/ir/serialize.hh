@@ -50,8 +50,9 @@ namespace qompress {
 /** Record magic: "QCR1" as little-endian bytes. */
 constexpr std::uint32_t kArtifactMagic = 0x31524351u;
 
-/** Bump on ANY payload layout change (see the file comment). */
-constexpr std::uint32_t kArtifactFormatVersion = 1;
+/** Bump on ANY payload layout change (see the file comment).
+ *  v2: Metrics grew readoutEps (device calibration pricing). */
+constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /** Fixed prefix of every record (magic + version + length + CRC). */
 constexpr std::size_t kArtifactHeaderBytes = 20;

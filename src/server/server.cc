@@ -372,6 +372,28 @@ QompressServer::handleRequest(const HttpRequest &req)
                                    "GET /compile (registry family)");
             else
                 reply.body = handleCompile(req);
+        } else if (req.path == "/devices") {
+            if (req.method != "GET")
+                reply = errorReply(405, "method", "use GET /devices");
+            else
+                reply.body = devicesJson();
+        } else if (req.path.rfind("/devices/", 0) == 0 &&
+                   req.path.size() > 21 &&
+                   req.path.compare(req.path.size() - 12, 12,
+                                    "/calibration") == 0 &&
+                   opts_.debugEndpoints) {
+            // /devices/<name>/calibration, gated exactly like /debug:
+            // with debugEndpoints off the path falls through to 404 so
+            // an untrusted deployment does not even reveal it exists.
+            const std::string name =
+                req.path.substr(9, req.path.size() - 21);
+            if (req.method != "POST") {
+                reply = errorReply(
+                    405, "method",
+                    "use POST /devices/<name>/calibration");
+            } else {
+                reply.body = handleCalibration(name, req);
+            }
         } else if (req.path == "/debug/sleep" && opts_.debugEndpoints) {
             if (req.method != "POST") {
                 reply = errorReply(405, "method", "use POST /debug/sleep");
@@ -440,6 +462,7 @@ QompressServer::handleCompile(const HttpRequest &req)
 
     const std::string strategy = req.queryParam("strategy", "eqm");
     const std::string topoKind = req.queryParam("topology", "grid");
+    const std::string device = req.queryParam("device", "");
     const bool fullCompile = req.queryParam("full", "0") == "1";
 
     // Assemble the batch: one inline-QASM circuit (POST) or one
@@ -478,13 +501,22 @@ QompressServer::handleCompile(const HttpRequest &req)
     names.reserve(circuits.size());
     for (Circuit &c : circuits) {
         names.push_back(req.method == "POST" ? "request" : c.name());
-        int units = c.numQubits();
-        const std::string u = req.queryParam("units", "");
-        if (!u.empty())
-            units = intParam(u, "units");
-        Topology topo = makeTopology(topoKind, units, opts_.maxUnits);
-        CompileRequest r = CompileRequest::forCircuit(
-            std::move(c), std::move(topo), strategy);
+        CompileRequest r = [&] {
+            if (!device.empty()) {
+                // Registered device: topology and calibration resolve
+                // inside the service against the live registry.
+                return CompileRequest::forDevice(std::move(c), device,
+                                                 strategy);
+            }
+            int units = c.numQubits();
+            const std::string u = req.queryParam("units", "");
+            if (!u.empty())
+                units = intParam(u, "units");
+            Topology topo =
+                makeTopology(topoKind, units, opts_.maxUnits);
+            return CompileRequest::forCircuit(std::move(c),
+                                              std::move(topo), strategy);
+        }();
         r.fullCompile = fullCompile;
         reqs.push_back(std::move(r));
     }
@@ -513,6 +545,36 @@ QompressServer::handleCompile(const HttpRequest &req)
     return "{\"results\": [" + join(rows, ", ") + "]}";
 }
 
+std::string
+QompressServer::devicesJson() const
+{
+    std::vector<std::string> rows;
+    for (const DeviceInfo &d : service_.devices().info()) {
+        rows.push_back(format(
+            "{\"name\": \"%s\", \"units\": %d, \"edges\": %d, "
+            "\"calibrated\": %s, \"calVersion\": %llu}",
+            jsonEscape(d.name).c_str(), d.units, d.edges,
+            d.calibrated ? "true" : "false",
+            static_cast<unsigned long long>(d.calVersion)));
+    }
+    return "{\"devices\": [" + join(rows, ", ") + "]}";
+}
+
+std::string
+QompressServer::handleCalibration(const std::string &name,
+                                  const HttpRequest &req)
+{
+    QFATAL_IF(req.body.empty(), "empty request body (expected a qcal "
+              "calibration record)");
+    DeviceCalibration cal =
+        DeviceCalibration::parse(req.body, "request body");
+    const std::uint64_t version =
+        service_.devices().setCalibration(name, std::move(cal));
+    return format("{\"device\": \"%s\", \"calVersion\": %llu}",
+                  jsonEscape(name).c_str(),
+                  static_cast<unsigned long long>(version));
+}
+
 ServerStats
 QompressServer::stats() const
 {
@@ -537,6 +599,18 @@ QompressServer::metricsJson() const
 {
     const ServerStats sv = stats();
     const ServiceStats st = service_.stats();
+    // Per-device rows (name -> units/calibrated/calVersion) so a
+    // scraper can watch a calibration land without a second endpoint.
+    std::vector<std::string> devrows;
+    for (const DeviceInfo &d : service_.devices().info()) {
+        devrows.push_back(format(
+            "\"%s\": {\"units\": %d, \"calibrated\": %s, "
+            "\"calVersion\": %llu}",
+            jsonEscape(d.name).c_str(), d.units,
+            d.calibrated ? "true" : "false",
+            static_cast<unsigned long long>(d.calVersion)));
+    }
+    const std::string devices = join(devrows, ", ");
     // Service keys mirror the ServiceStats field names verbatim so
     // scrapers (bench_loadgen --check, dashboards) match the header.
     return format(
@@ -559,7 +633,8 @@ QompressServer::metricsJson() const
         "\"storeErrors\": %llu, \"degradedSkips\": %llu, "
         "\"recoveries\": %llu, \"tierState\": \"%s\", "
         "\"contextsCreated\": %llu, "
-        "\"contextsReused\": %llu, \"pooledContexts\": %zu}\n"
+        "\"contextsReused\": %llu, \"pooledContexts\": %zu},\n"
+        "  \"devices\": {%s}\n"
         "}\n",
         static_cast<unsigned long long>(sv.accepted),
         static_cast<unsigned long long>(sv.shed),
@@ -593,7 +668,7 @@ QompressServer::metricsJson() const
         diskTierStateName(st.tierState),
         static_cast<unsigned long long>(st.contextsCreated),
         static_cast<unsigned long long>(st.contextsReused),
-        st.pooledContexts);
+        st.pooledContexts, devices.c_str());
 }
 
 } // namespace qompress

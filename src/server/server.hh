@@ -15,13 +15,26 @@
  *
  * Endpoints:
  *   POST /compile            body = OpenQASM 2.0; query: strategy,
- *                            topology (grid|heavyhex|ring|line),
+ *                            topology (grid|heavyhex|ring|line) OR
+ *                            device=<registered name> (registry
+ *                            topology + current calibration),
  *                            units, full (1 = bypass template tier),
  *                            deadline_ms
  *   GET  /compile            query: family, size or sizes=csv (batch),
  *                            plus the same knobs as POST
+ *   GET  /devices            the device registry: units/edges/
+ *                            calibrated/calVersion per device
+ *   POST /devices/<name>/calibration
+ *                            body = qcal text (arch/device.hh); only
+ *                            with ServerOptions::debugEndpoints (404
+ *                            otherwise, exactly like /debug/sleep).
+ *                            Bumps the device's calVersion and re-keys
+ *                            every subsequent compile against it --
+ *                            the cache-invalidation path the smoke
+ *                            test drives over the wire
  *   GET  /metrics            server counters + latency histogram +
- *                            the full ServiceStats snapshot, as JSON
+ *                            the full ServiceStats snapshot + the
+ *                            device registry, as JSON
  *   GET  /healthz            health probe; body {"status": "..."} is
  *                            "ok" (fully healthy), "degraded" (disk
  *                            tier circuit breaker open, memory tiers
@@ -113,7 +126,8 @@ struct ServerOptions
     /** Largest topology the server will build for a request. */
     int maxUnits = 1024;
 
-    /** Enable POST /debug/sleep (tests and load experiments only). */
+    /** Enable POST /debug/sleep and POST /devices/<name>/calibration
+     *  (tests, load experiments, and trusted operators only). */
     bool debugEndpoints = false;
 
     /** Knobs for the owned CompilerService. */
@@ -185,6 +199,14 @@ class QompressServer
     std::string handleRequest(const HttpRequest &req);
 
     std::string handleCompile(const HttpRequest &req);
+
+    /** GET /devices listing body. */
+    std::string devicesJson() const;
+
+    /** POST /devices/<name>/calibration: parse the qcal body, install
+     *  it, return {"device", "calVersion"}. */
+    std::string handleCalibration(const std::string &name,
+                                  const HttpRequest &req);
 
     /** Pop the next queued connection; -1 when stopping. */
     int popConnection();

@@ -74,6 +74,13 @@ configFingerprint(const CompilerConfig &cfg)
     f.mixDouble(cfg.lookaheadWeight);
     f.mixI32(cfg.useDistanceCache ? 1 : 0);
     f.mixI32(cfg.validate ? 1 : 0);
+    // The calibration is priced into every compile, so its content
+    // fingerprint is part of the config identity: installing a new
+    // calibration changes this value and with it every memo/template/
+    // disk key priced against the old record -- the partial-
+    // invalidation contract, extended to devices. Null (uncalibrated)
+    // mixes a fixed 0 so pre-device keys are preserved.
+    f.mixU64(cfg.calibration ? cfg.calibration->fingerprint() : 0);
     // cfg.threads deliberately excluded: results are lane-invariant,
     // so requests differing only in lane count share one artifact.
     return f.value();
@@ -100,6 +107,21 @@ CompileRequest::forFamily(std::string family, int size, Topology topo,
     CompileRequest req{std::move(topo), std::move(strategy),
                        std::move(lib), cfg, std::nullopt,
                        std::move(family), size};
+    return req;
+}
+
+CompileRequest
+CompileRequest::forDevice(Circuit c, std::string device,
+                          std::string strategy, CompilerConfig cfg,
+                          GateLibrary lib)
+{
+    // The topology is a placeholder: compileImpl swaps in the
+    // registered device's topology (and calibration) before anything
+    // reads it. CompileRequest has no unset-topology state because
+    // Topology is not default-constructible.
+    CompileRequest req{Topology::line(1), std::move(strategy),
+                       std::move(lib), cfg, std::move(c), "", 0};
+    req.device = std::move(device);
     return req;
 }
 
@@ -240,6 +262,22 @@ CompilerService::poolFor(int threads)
 CompileArtifact
 CompilerService::compileImpl(const CompileRequest &req)
 {
+    // A by-name request resolves against the registry first: the
+    // device's topology and CURRENT calibration replace the request's
+    // own, then the request proceeds as an ordinary content-addressed
+    // compile. Because the calibration is part of configFingerprint,
+    // a calibration update naturally re-keys every subsequent request
+    // for that device (and only that device). The recursion happens
+    // before any counter is touched, so the request still counts once.
+    if (!req.device.empty()) {
+        Device dev = devices_.get(req.device);
+        CompileRequest resolved = req;
+        resolved.device.clear();
+        resolved.topology = std::move(dev.topology);
+        resolved.config.calibration = std::move(dev.calibration);
+        return compileImpl(resolved);
+    }
+
     // Resolve the circuit first: the memo key hashes its content.
     std::optional<Circuit> resolved;
     const Circuit *circuit = nullptr;
@@ -369,9 +407,12 @@ CompilerService::compileImpl(const CompileRequest &req)
             // Nothing to run; the decode above already produced it.
         } else if (tmpl) {
             // O(gates) path: substitute this instance's angles into
-            // the template's compiled structure and re-price.
+            // the template's compiled structure and re-price. The
+            // template key covers the config fingerprint, so the
+            // template was built under this same calibration.
             artifact = std::make_shared<const CompileResult>(
-                rebindTemplate(*tmpl, *circuit, req.library));
+                rebindTemplate(*tmpl, *circuit, req.library,
+                               req.config.calibration.get()));
         } else {
             artifact = compileUncached(req, *circuit, ctx_fp);
         }

@@ -82,6 +82,7 @@
 
 #include <chrono>
 
+#include "arch/device.hh"
 #include "common/thread_pool.hh"
 #include "compiler/pipeline.hh"
 #include "compiler/rebind.hh"
@@ -144,6 +145,14 @@ struct CompileRequest
     std::string family; ///< registry family name (see circuits/registry.hh)
     int size = 0;       ///< registry qubit budget
 
+    /** Compile against a REGISTERED device instead of the request's
+     *  own topology/calibration: when non-empty, the service swaps in
+     *  the named device's topology and current calibration (FatalError
+     *  for an unknown name) and ignores @ref topology. The artifact
+     *  key is derived from the resolved content, so requests by name
+     *  and by equal explicit content share cache entries. */
+    std::string device;
+
     /** Bypass the template tier for this request: neither serve a
      *  rebind nor extract a template from the result. The exact
      *  memo tier still applies. (Rebinds are bit-identical to full
@@ -160,6 +169,13 @@ struct CompileRequest
     /** Request for a registry circuit ("bv", "qaoa_random", ...). */
     static CompileRequest forFamily(std::string family, int size,
                                     Topology topo, std::string strategy,
+                                    CompilerConfig cfg = {},
+                                    GateLibrary lib = {});
+
+    /** Request against a registered device by name (topology and
+     *  calibration resolve at compile time; see @ref device). */
+    static CompileRequest forDevice(Circuit c, std::string device,
+                                    std::string strategy,
                                     CompilerConfig cfg = {},
                                     GateLibrary lib = {});
 
@@ -373,6 +389,16 @@ class CompilerService
     /** Change the memo capacity; shrinking evicts LRU entries now. */
     void setCacheCapacity(std::size_t capacity);
 
+    /** @name The device registry (see arch/device.hh)
+     * Shared mutable state with its own lock: registering devices and
+     * installing calibrations is safe concurrently with compiles.
+     * Invalidation needs no cache surgery -- a new calibration changes
+     * the config fingerprint of subsequent by-name requests, so stale
+     * artifacts simply stop being addressable (and age out by LRU). @{ */
+    DeviceRegistry &devices() { return devices_; }
+    const DeviceRegistry &devices() const { return devices_; }
+    /** @} */
+
   private:
     /** Memo-cache key: one 64-bit content fingerprint per component
      *  plus the verbatim strategy name. Equality compares the
@@ -450,6 +476,9 @@ class CompilerService
     ThreadPool *poolFor(int threads);
 
     ServiceOptions opts_;
+
+    /** Named backends; internally locked, never touched under mu_. */
+    DeviceRegistry devices_;
 
     mutable std::mutex mu_; ///< guards cache, context pool, counters
     std::list<LruEntry> lru_; ///< front = most recently used

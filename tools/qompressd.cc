@@ -34,7 +34,14 @@
  *                       /healthz for N ms before stopping, so load
  *                       balancers bleed traffic away first (default 0)
  *   --max-units=N       largest topology a request may ask for
- *   --debug-endpoints   enable POST /debug/sleep (load experiments)
+ *   --device=NAME=PATH  register a custom device NAME from a topology
+ *                       file (see Topology::fromFile); repeatable
+ *   --calibration=NAME=PATH
+ *                       install a qcal calibration on device NAME at
+ *                       boot (see arch/device.hh); repeatable, applied
+ *                       after every --device
+ *   --debug-endpoints   enable POST /debug/sleep and
+ *                       POST /devices/<name>/calibration
  *
  * SIGINT/SIGTERM trigger a graceful shutdown: flip /healthz to
  * draining, wait the drain grace, stop accepting, answer queued
@@ -48,6 +55,8 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/error.hh"
 #include "server/server.hh"
@@ -60,6 +69,21 @@ volatile std::sig_atomic_t g_stop = 0;
 
 /** --drain-grace-ms: how long /healthz says "draining" before stop(). */
 int g_drainGraceMs = 0;
+
+/** --device / --calibration: NAME=PATH pairs applied to the server's
+ *  registry after construction, in command-line order. */
+std::vector<std::pair<std::string, std::string>> g_devices;
+std::vector<std::pair<std::string, std::string>> g_calibrations;
+
+std::pair<std::string, std::string>
+namePathPair(const std::string &spec, const char *flag)
+{
+    const auto eq = spec.find('=');
+    QFATAL_IF(eq == std::string::npos || eq == 0 ||
+              eq + 1 == spec.size(),
+              flag, " expects NAME=PATH, got '", spec, "'");
+    return {spec.substr(0, eq), spec.substr(eq + 1)};
+}
 
 void
 onSignal(int)
@@ -78,6 +102,7 @@ usage()
         "       [--fsync=never|interval|always]\n"
         "       [--fsync-interval-bytes=N] [--store-error-threshold=K]\n"
         "       [--store-cooldown-ms=X] [--drain-grace-ms=N]\n"
+        "       [--device=NAME=PATH] [--calibration=NAME=PATH]\n"
         "       [--debug-endpoints]\n");
 }
 
@@ -142,6 +167,12 @@ parse(int argc, char **argv)
                 std::atol(value("--contexts=").c_str()));
         } else if (a.rfind("--max-units=", 0) == 0) {
             opts.maxUnits = std::atoi(value("--max-units=").c_str());
+        } else if (a.rfind("--device=", 0) == 0) {
+            g_devices.push_back(
+                namePathPair(value("--device="), "--device"));
+        } else if (a.rfind("--calibration=", 0) == 0) {
+            g_calibrations.push_back(
+                namePathPair(value("--calibration="), "--calibration"));
         } else if (a == "--debug-endpoints") {
             opts.debugEndpoints = true;
         } else if (a == "--help" || a == "-h") {
@@ -162,6 +193,14 @@ main(int argc, char **argv)
     try {
         const ServerOptions opts = parse(argc, argv);
         QompressServer server(opts);
+        // Customs first, then calibrations, so a boot calibration can
+        // target a device registered on the same command line.
+        for (const auto &[name, path] : g_devices)
+            server.service().devices().addFromFile(name, path);
+        for (const auto &[name, path] : g_calibrations) {
+            server.service().devices().setCalibration(
+                name, DeviceCalibration::fromFile(path));
+        }
         server.start();
         std::printf("qompressd listening on %s:%d (workers=%d, "
                     "queue=%zu, cache=%zu, template-cache=%zu, "
